@@ -1,0 +1,53 @@
+// Command cupbench regenerates the tables and figures of the CUP paper's
+// evaluation section. By default every experiment runs at a reduced scale
+// that finishes in seconds; -full uses the paper's exact parameters
+// (3000 s of querying, λ up to 1000 queries/s, networks up to 4096 nodes).
+//
+//	cupbench                 # all experiments, reduced scale
+//	cupbench -exp table1     # one experiment
+//	cupbench -full -exp fig4 # paper-scale run
+//	cupbench -list           # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cup/internal/experiment"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment name or 'all'")
+		full = flag.Bool("full", false, "run at the paper's full scale")
+		seed = flag.Int64("seed", 1, "random seed")
+		list = flag.Bool("list", false, "list experiment names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiment.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	sc := experiment.Scale{Full: *full, Seed: *seed}
+	names := experiment.Names()
+	if *exp != "all" {
+		if _, ok := experiment.Registry[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "cupbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		names = []string{*exp}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		table := experiment.Registry[name](sc)
+		fmt.Println(table.Render())
+		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

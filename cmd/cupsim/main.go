@@ -1,0 +1,119 @@
+// Command cupsim runs one CUP (or standard-caching) simulation and prints
+// the cost counters the paper reports. Examples:
+//
+//	cupsim -nodes 1024 -rate 1 -policy second-chance
+//	cupsim -nodes 1024 -rate 1000 -mode standard
+//	cupsim -nodes 1024 -rate 10 -policy always -pushlevel 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cup/internal/cup"
+	"cup/internal/policy"
+	"cup/internal/sim"
+)
+
+func parsePolicy(name string) (policy.Policy, error) {
+	switch {
+	case name == "second-chance":
+		return policy.SecondChance(), nil
+	case name == "always":
+		return policy.AlwaysKeep(), nil
+	case name == "never":
+		return policy.NeverKeep(), nil
+	case strings.HasPrefix(name, "linear:"):
+		a, err := strconv.ParseFloat(name[len("linear:"):], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad linear alpha: %v", err)
+		}
+		return policy.Linear(a), nil
+	case strings.HasPrefix(name, "log:"):
+		a, err := strconv.ParseFloat(name[len("log:"):], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad log alpha: %v", err)
+		}
+		return policy.Logarithmic(a), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (second-chance|always|never|linear:A|log:A)", name)
+	}
+}
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 1024, "overlay size")
+		overlayK  = flag.String("overlay", "can", "overlay substrate: can|chord")
+		keys      = flag.Int("keys", 1, "number of keys")
+		zipf      = flag.Float64("zipf", 0, "Zipf skew for key popularity (0 = uniform)")
+		replicas  = flag.Int("replicas", 1, "replicas per key")
+		lifetime  = flag.Float64("lifetime", 300, "replica lifetime (s)")
+		hop       = flag.Float64("hop", 0.1, "per-hop delay (s)")
+		rate      = flag.Float64("rate", 1, "network query rate λ (queries/s)")
+		duration  = flag.Float64("duration", 3000, "query window length (s)")
+		mode      = flag.String("mode", "cup", "protocol: cup|standard")
+		polName   = flag.String("policy", "second-chance", "cut-off policy")
+		pushLevel = flag.Int("pushlevel", cup.UnlimitedPushLevel, "sender-side push level (-1 = unlimited)")
+		naive     = flag.Bool("naive-cutoff", false, "disable the replica-independent cut-off fix")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := cup.Defaults()
+	switch *mode {
+	case "cup":
+		pol, err := parsePolicy(*polName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cupsim:", err)
+			os.Exit(2)
+		}
+		cfg.Policy = pol
+		cfg.PushLevel = *pushLevel
+		cfg.ReplicaIndependentCutoff = !*naive
+	case "standard":
+		cfg = cup.Standard()
+	default:
+		fmt.Fprintf(os.Stderr, "cupsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	res := cup.Run(cup.Params{
+		Nodes:         *nodes,
+		OverlayKind:   *overlayK,
+		Keys:          *keys,
+		ZipfSkew:      *zipf,
+		Replicas:      *replicas,
+		Lifetime:      sim.Duration(*lifetime),
+		HopDelay:      sim.Duration(*hop),
+		QueryRate:     *rate,
+		QueryDuration: sim.Duration(*duration),
+		Config:        cfg,
+		Seed:          *seed,
+	})
+
+	c := &res.Counters
+	fmt.Printf("nodes=%d overlay=%s keys=%d replicas=%d λ=%g mode=%s policy=%s pushlevel=%d seed=%d\n",
+		*nodes, *overlayK, *keys, *replicas, *rate, *mode, cfg.Policy.Name(), cfg.PushLevel, *seed)
+	fmt.Printf("queries            %d\n", c.Queries)
+	fmt.Printf("hits               %d (%.1f%%)\n", c.Hits, 100*float64(c.Hits)/max1(float64(c.Queries)))
+	fmt.Printf("misses             %d (first-time %d, freshness %d, coalesced %d)\n",
+		c.Misses(), c.FirstTimeMisses, c.FreshnessMisses, c.Coalesced)
+	fmt.Printf("miss cost          %d hops (query %d + response %d)\n", c.MissCost(), c.QueryHops, c.ResponseHops)
+	fmt.Printf("overhead           %d hops (update %d + clear-bit %d)\n", c.Overhead(), c.UpdateHops, c.ClearBitHops)
+	fmt.Printf("total cost         %d hops\n", c.TotalCost())
+	fmt.Printf("miss latency       %.2f hops/miss, %.3f s/miss\n", c.MissLatencyHops(), c.MissLatencySeconds())
+	fmt.Printf("updates originated %d, dropped %d, expired-in-flight %d\n",
+		c.UpdatesOriginated, c.UpdatesDropped, c.ExpiredUpdates)
+	fmt.Printf("justified updates  %.1f%% (%d of %d classified)\n",
+		100*c.JustifiedFraction(), c.JustifiedUpdates, c.JustifiedUpdates+c.UnjustifiedUpdates)
+}
+
+func max1(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,84 @@
+// Package cup is the public façade of this repository: a complete Go
+// implementation of CUP — Controlled Update Propagation in Peer-to-Peer
+// Networks (Roussopoulos & Baker) — together with the substrates its
+// evaluation needs: a discrete-event simulator, a 2-D CAN and a Chord
+// overlay, a TTL index-entry cache, incentive-based cut-off policies, the
+// standard-caching baseline, workload/fault generators, and a live
+// goroutine-per-node runtime.
+//
+// Three entry points cover most uses:
+//
+//   - Run / NewSimulation: deterministic discrete-event experiments (the
+//     paper's evaluation; see internal/experiment and cmd/cupbench).
+//   - live.NewNetwork (cup/internal/live): CUP as a real concurrent
+//     system, one goroutine per peer, for applications and demos.
+//   - policy.*: the cut-off policies of §3.4, pluggable per node.
+//
+// The protocol core is a pure state machine (Node); both transports drive
+// the same code, so simulation results transfer to the live runtime.
+package cup
+
+import (
+	internal "cup/internal/cup"
+	"cup/internal/metrics"
+)
+
+// Re-exported protocol types. See cup/internal/cup for full documentation.
+type (
+	// Node is the CUP protocol state machine for one peer.
+	Node = internal.Node
+	// Config parameterizes a node (mode, policy, push level, cut-off).
+	Config = internal.Config
+	// Update is one update-channel message.
+	Update = internal.Update
+	// UpdateType classifies updates (first-time, delete, refresh, append).
+	UpdateType = internal.UpdateType
+	// Action is a side effect emitted by the state machine.
+	Action = internal.Action
+	// Params configures a discrete-event simulation run.
+	Params = internal.Params
+	// Result is a finished run's parameters and counters.
+	Result = internal.Result
+	// Simulation is a wired discrete-event CUP deployment.
+	Simulation = internal.Simulation
+	// Hook is a timed intervention into a running simulation.
+	Hook = internal.Hook
+	// Counters aggregates the paper's cost metrics for one run.
+	Counters = metrics.Counters
+	// Limiter is the §2.8 outgoing-update queue controller.
+	Limiter = internal.Limiter
+)
+
+// Update type constants (§2.4).
+const (
+	FirstTime = internal.FirstTime
+	Delete    = internal.Delete
+	Refresh   = internal.Refresh
+	Append    = internal.Append
+)
+
+// Protocol modes.
+const (
+	ModeCUP      = internal.ModeCUP
+	ModeStandard = internal.ModeStandard
+)
+
+// UnlimitedPushLevel disables the sender-side push-level cap.
+const UnlimitedPushLevel = internal.UnlimitedPushLevel
+
+// Defaults returns the paper's headline CUP configuration (second-chance
+// cut-off, unlimited push level, replica-independent cut-off).
+func Defaults() Config { return internal.Defaults() }
+
+// Standard returns the expiration-based standard-caching baseline.
+func Standard() Config { return internal.Standard() }
+
+// Run builds and executes one simulation.
+func Run(p Params) *Result { return internal.Run(p) }
+
+// NewLimiter returns an empty §2.8 outgoing-update queue controller.
+func NewLimiter() *Limiter { return internal.NewLimiter() }
+
+// NewSimulation builds a simulation for manual driving (fault injection,
+// custom scheduling) before Run.
+func NewSimulation(p Params) *Simulation { return internal.NewSimulation(p) }

@@ -1,0 +1,43 @@
+// Capacity: reproduce the §3.7 degraded-capacity scenario interactively.
+// Twenty percent of nodes lose most of their outgoing update capacity
+// mid-run (Once-Down-Always-Down); CUP's costs degrade gracefully and stay
+// below standard caching, because nodes starved of updates fall back to
+// expiration-based caching with no extra overhead.
+package main
+
+import (
+	"fmt"
+
+	"cup"
+	"cup/internal/workload"
+)
+
+func main() {
+	base := cup.Params{
+		Nodes:         512,
+		QueryRate:     20,
+		QueryDuration: 1200,
+		Seed:          11,
+	}
+
+	pStd := base
+	pStd.Config = cup.Standard()
+	std := cup.Run(pStd).Counters.TotalCost()
+
+	fmt.Println("Once-Down-Always-Down: 20% of nodes at reduced outgoing capacity")
+	fmt.Printf("standard caching baseline: %d hops total\n\n", std)
+	fmt.Printf("%-10s %14s %12s\n", "capacity", "CUP total", "vs standard")
+	for _, c := range []float64{1, 0.75, 0.5, 0.25, 0} {
+		p := base
+		p.Config = cup.Defaults()
+		p.Hooks = workload.OnceDownAlwaysDown(workload.CapacityFault{
+			Capacity:      c,
+			QueryStart:    300,
+			QueryDuration: p.QueryDuration,
+		})
+		total := cup.Run(p).Counters.TotalCost()
+		fmt.Printf("%-10.2f %14d %11.2fx\n", c, total, float64(total)/float64(std))
+	}
+	fmt.Println("\nEven at capacity 0, CUP outperforms standard caching: downstream")
+	fmt.Println("nodes fall back to expiration-based caching with no overhead (§2.8).")
+}

@@ -1,0 +1,47 @@
+// Churn: node arrivals and departures (§2.9). While clients query, nodes
+// continuously join the CAN (splitting zones) and leave gracefully (a
+// neighbor absorbs their zones and index directory, interest bit vectors
+// are patched). CUP's trees re-form around the changes and its advantage
+// over standard caching persists.
+package main
+
+import (
+	"fmt"
+
+	"cup"
+	"cup/internal/sim"
+	"cup/internal/workload"
+)
+
+func main() {
+	base := cup.Params{
+		Nodes:         256,
+		QueryRate:     10,
+		QueryDuration: 1200,
+		Seed:          23,
+	}
+
+	run := func(cfg cup.Config, rounds int) *cup.Result {
+		p := base
+		p.Config = cfg
+		if rounds > 0 {
+			p.Hooks = workload.NodeChurn{At: 350, Period: sim.Duration(1200 / float64(rounds+1)), Rounds: rounds}.Hooks()
+		}
+		return cup.Run(p)
+	}
+
+	fmt.Println("Continuous membership churn on a 256-node CAN, λ=10 q/s")
+	fmt.Printf("%-14s %12s %12s %10s\n", "churn events", "std total", "CUP total", "CUP/std")
+	for _, rounds := range []int{0, 10, 40, 80} {
+		std := run(cup.Standard(), rounds)
+		res := run(cup.Defaults(), rounds)
+		fmt.Printf("%-14d %12d %12d %9.2fx\n",
+			rounds,
+			std.Counters.TotalCost(),
+			res.Counters.TotalCost(),
+			float64(res.Counters.TotalCost())/float64(std.Counters.TotalCost()))
+	}
+	fmt.Println("\nJoins split zones and inherit index entries; departures hand their")
+	fmt.Println("directory to a neighbor. Orphaned caches simply expire (§2.9), so")
+	fmt.Println("churn costs stay confined to the affected neighborhoods.")
+}

@@ -1,0 +1,41 @@
+// Quickstart: run one CUP simulation next to the standard-caching
+// baseline and print the paper's headline comparison — miss cost, update
+// overhead, total cost, and average miss latency.
+package main
+
+import (
+	"fmt"
+
+	"cup"
+)
+
+func main() {
+	params := cup.Params{
+		Nodes:         256, // 2^8-node CAN overlay
+		QueryRate:     5,   // Poisson λ, queries/s across the network
+		QueryDuration: 900, // seconds of querying
+		Seed:          42,
+	}
+
+	params.Config = cup.Standard()
+	std := cup.Run(params)
+
+	params.Config = cup.Defaults() // CUP with the second-chance cut-off
+	res := cup.Run(params)
+
+	fmt.Println("CUP vs standard expiration-based caching")
+	fmt.Printf("%-22s %12s %12s\n", "", "standard", "CUP")
+	row := func(label string, a, b uint64) {
+		fmt.Printf("%-22s %12d %12d\n", label, a, b)
+	}
+	row("queries", std.Counters.Queries, res.Counters.Queries)
+	row("misses", std.Counters.Misses(), res.Counters.Misses())
+	row("miss cost (hops)", std.Counters.MissCost(), res.Counters.MissCost())
+	row("overhead (hops)", std.Counters.Overhead(), res.Counters.Overhead())
+	row("total cost (hops)", std.Counters.TotalCost(), res.Counters.TotalCost())
+	fmt.Printf("%-22s %12.2f %12.2f\n", "miss latency (hops)",
+		std.Counters.MissLatencyHops(), res.Counters.MissLatencyHops())
+	fmt.Printf("\nCUP total cost is %.2fx the baseline; miss cost %.2fx.\n",
+		float64(res.Counters.TotalCost())/float64(std.Counters.TotalCost()),
+		float64(res.Counters.MissCost())/float64(std.Counters.MissCost()))
+}

@@ -1,0 +1,70 @@
+// Integration tests of the public façade: the API a downstream user
+// imports must run end to end without reaching into internal packages.
+package cup_test
+
+import (
+	"testing"
+
+	"cup"
+)
+
+func TestFacadeRun(t *testing.T) {
+	res := cup.Run(cup.Params{Nodes: 32, QueryRate: 2, QueryDuration: 300, Seed: 1})
+	if res.Counters.Queries == 0 {
+		t.Fatal("façade run produced no queries")
+	}
+	if res.Counters.TotalCost() != res.Counters.MissCost()+res.Counters.Overhead() {
+		t.Fatal("cost identity broken through façade")
+	}
+}
+
+func TestFacadeStandardVsDefaults(t *testing.T) {
+	p := cup.Params{Nodes: 64, QueryRate: 5, QueryDuration: 600, Seed: 2}
+	p.Config = cup.Standard()
+	std := cup.Run(p)
+	p.Config = cup.Defaults()
+	c := cup.Run(p)
+	if std.Counters.Overhead() != 0 {
+		t.Fatal("standard caching must have zero overhead")
+	}
+	if c.Counters.MissCost() >= std.Counters.MissCost() {
+		t.Fatalf("CUP miss cost %d not below standard %d",
+			c.Counters.MissCost(), std.Counters.MissCost())
+	}
+}
+
+func TestFacadeSimulationHooks(t *testing.T) {
+	fired := false
+	s := cup.NewSimulation(cup.Params{
+		Nodes: 16, QueryRate: 1, QueryDuration: 120, Seed: 3,
+		Hooks: []cup.Hook{{At: 350, Fn: func(*cup.Simulation) { fired = true }}},
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("hook never fired")
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	// The update taxonomy must survive re-export with stable ordering.
+	if cup.FirstTime.Priority() >= cup.Delete.Priority() ||
+		cup.Delete.Priority() >= cup.Refresh.Priority() ||
+		cup.Refresh.Priority() >= cup.Append.Priority() {
+		t.Fatal("update priority ordering broken")
+	}
+	if cup.UnlimitedPushLevel >= 0 {
+		t.Fatal("UnlimitedPushLevel must be negative")
+	}
+	if cup.Defaults().Mode != cup.ModeCUP || cup.Standard().Mode != cup.ModeStandard {
+		t.Fatal("mode constants wired wrong")
+	}
+}
+
+func TestFacadeLimiter(t *testing.T) {
+	l := cup.NewLimiter()
+	l.Enqueue(1, cup.Update{Key: "k", Type: cup.Refresh, Expires: 100})
+	out := l.Drain(0, -1)
+	if len(out) != 1 || out[0].U.Key != "k" {
+		t.Fatalf("limiter through façade: %+v", out)
+	}
+}

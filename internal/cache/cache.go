@@ -1,0 +1,204 @@
+// Package cache implements the TTL index-entry store used by every CUP
+// node: both the cached index entries collected while passing queries and
+// updates (§2.1 "Cached index entries") and the authority node's local
+// index directory (§2.1 "Local index directory").
+//
+// An index entry is a (key, value) pair whose value points at a replica
+// serving the content. Each entry carries an absolute expiration time
+// (the paper's lifetime + timestamp collapsed into one instant); an entry
+// is fresh until it expires and must not answer queries afterwards.
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+// Entry is one index entry: key K is served by replica Replica at address
+// Addr until Expires.
+type Entry struct {
+	Key     overlay.Key
+	Replica int
+	Addr    string
+	Expires sim.Time
+}
+
+// Fresh reports whether the entry can still answer queries at time now.
+func (e Entry) Fresh(now sim.Time) bool { return e.Expires > now }
+
+// String implements fmt.Stringer.
+func (e Entry) String() string {
+	return fmt.Sprintf("%s@replica%d(%s, exp %.2f)", e.Key, e.Replica, e.Addr, float64(e.Expires))
+}
+
+// Store holds index entries grouped by key, one entry per (key, replica).
+// The zero value is not usable; call NewStore.
+type Store struct {
+	byKey map[overlay.Key]map[int]Entry
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byKey: make(map[overlay.Key]map[int]Entry)}
+}
+
+// Put inserts or replaces the entry for (e.Key, e.Replica).
+func (s *Store) Put(e Entry) {
+	m := s.byKey[e.Key]
+	if m == nil {
+		m = make(map[int]Entry)
+		s.byKey[e.Key] = m
+	}
+	m[e.Replica] = e
+}
+
+// PutAll inserts every entry.
+func (s *Store) PutAll(es []Entry) {
+	for _, e := range es {
+		s.Put(e)
+	}
+}
+
+// ReplaceKey atomically replaces all entries for k with es. Entries in es
+// whose Key differs from k are rejected with a panic: a first-time update
+// carrying foreign entries is a protocol bug.
+func (s *Store) ReplaceKey(k overlay.Key, es []Entry) {
+	delete(s.byKey, k)
+	for _, e := range es {
+		if e.Key != k {
+			panic(fmt.Sprintf("cache: ReplaceKey(%q) given entry for %q", k, e.Key))
+		}
+		s.Put(e)
+	}
+}
+
+// Remove deletes the entry for (k, replica) if present, reporting whether
+// an entry was removed.
+func (s *Store) Remove(k overlay.Key, replica int) bool {
+	m := s.byKey[k]
+	if m == nil {
+		return false
+	}
+	if _, ok := m[replica]; !ok {
+		return false
+	}
+	delete(m, replica)
+	if len(m) == 0 {
+		delete(s.byKey, k)
+	}
+	return true
+}
+
+// RemoveKey deletes every entry for k, returning how many were removed.
+func (s *Store) RemoveKey(k overlay.Key) int {
+	n := len(s.byKey[k])
+	delete(s.byKey, k)
+	return n
+}
+
+// Get returns the entry for (k, replica).
+func (s *Store) Get(k overlay.Key, replica int) (Entry, bool) {
+	e, ok := s.byKey[k][replica]
+	return e, ok
+}
+
+// All returns every entry for k (fresh or stale), sorted by replica for
+// deterministic iteration. The slice is freshly allocated.
+func (s *Store) All(k overlay.Key) []Entry {
+	m := s.byKey[k]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Entry, 0, len(m))
+	for _, e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Replica < out[j].Replica })
+	return out
+}
+
+// Fresh returns the fresh entries for k at time now, sorted by replica.
+func (s *Store) Fresh(k overlay.Key, now sim.Time) []Entry {
+	m := s.byKey[k]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Entry, 0, len(m))
+	for _, e := range m {
+		if e.Fresh(now) {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Replica < out[j].Replica })
+	return out
+}
+
+// HasFresh reports whether any entry for k is fresh at now.
+func (s *Store) HasFresh(k overlay.Key, now sim.Time) bool {
+	for _, e := range s.byKey[k] {
+		if e.Fresh(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAny reports whether the store holds any entry (fresh or stale) for k.
+// Used to distinguish freshness misses from first-time misses.
+func (s *Store) HasAny(k overlay.Key) bool { return len(s.byKey[k]) > 0 }
+
+// MaxExpiry returns the latest expiration among entries for k, or zero
+// time when none exist.
+func (s *Store) MaxExpiry(k overlay.Key) sim.Time {
+	var max sim.Time
+	for _, e := range s.byKey[k] {
+		if e.Expires > max {
+			max = e.Expires
+		}
+	}
+	return max
+}
+
+// Expire removes every entry that is stale at now across all keys and
+// returns how many were dropped. Nodes call this opportunistically; the
+// protocol never relies on it because freshness is checked per access.
+func (s *Store) Expire(now sim.Time) int {
+	dropped := 0
+	for k, m := range s.byKey {
+		for r, e := range m {
+			if !e.Fresh(now) {
+				delete(m, r)
+				dropped++
+			}
+		}
+		if len(m) == 0 {
+			delete(s.byKey, k)
+		}
+	}
+	return dropped
+}
+
+// Len returns the total number of entries.
+func (s *Store) Len() int {
+	n := 0
+	for _, m := range s.byKey {
+		n += len(m)
+	}
+	return n
+}
+
+// Keys returns all keys with at least one entry, sorted.
+func (s *Store) Keys() []overlay.Key {
+	out := make([]overlay.Key, 0, len(s.byKey))
+	for k := range s.byKey {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

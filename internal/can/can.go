@@ -1,0 +1,360 @@
+package can
+
+import (
+	"fmt"
+	"sort"
+
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+// Network is a 2-D CAN overlay. Nodes are dense overlay.NodeIDs; each alive
+// node owns one or more zones (more than one only after absorbing a departed
+// neighbor's zones, the paper's §2.9 takeover). Network implements
+// overlay.Overlay.
+type Network struct {
+	zones     [][]Zone           // per node; empty ⇒ departed
+	neighbors [][]overlay.NodeID // per node, sorted, alive only
+}
+
+var _ overlay.Overlay = (*Network)(nil)
+
+// Build constructs a CAN of n nodes by the standard join procedure: node 0
+// owns the whole space; each subsequent node picks a uniformly random point
+// (from r) and splits the zone of the point's current owner. This mirrors
+// the paper's dynamically allocated index partitions.
+func Build(n int, r *sim.Rand) *Network {
+	if n <= 0 {
+		panic("can: Build requires n > 0")
+	}
+	net := &Network{
+		zones:     make([][]Zone, 1, n),
+		neighbors: make([][]overlay.NodeID, 1, n),
+	}
+	net.zones[0] = []Zone{FullZone()}
+	for i := 1; i < n; i++ {
+		p := overlay.Point{X: r.Float64(), Y: r.Float64()}
+		net.join(p)
+	}
+	net.rebuildAllNeighbors()
+	return net
+}
+
+// BuildBalanced constructs a perfectly balanced CAN of n = 2^k nodes by
+// recursive halving. Useful for tests that need exact geometry.
+func BuildBalanced(n int) *Network {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("can: BuildBalanced requires a power of two, got %d", n))
+	}
+	zones := []Zone{FullZone()}
+	for len(zones) < n {
+		next := make([]Zone, 0, len(zones)*2)
+		for _, z := range zones {
+			a, b := z.Split()
+			next = append(next, a, b)
+		}
+		zones = next
+	}
+	net := &Network{
+		zones:     make([][]Zone, n),
+		neighbors: make([][]overlay.NodeID, n),
+	}
+	for i, z := range zones {
+		net.zones[i] = []Zone{z}
+	}
+	net.rebuildAllNeighbors()
+	return net
+}
+
+// join adds one node owning the half of the zone containing p. Neighbor
+// sets are rebuilt lazily by the caller (Build) or incrementally (Join).
+func (c *Network) join(p overlay.Point) overlay.NodeID {
+	owner := c.ownerOfPoint(p)
+	// Split the owner's zone that contains p.
+	zs := c.zones[owner]
+	zi := -1
+	for i, z := range zs {
+		if z.Contains(p) {
+			zi = i
+			break
+		}
+	}
+	if zi < 0 {
+		panic(fmt.Sprintf("can: owner %v does not contain %v", owner, p))
+	}
+	a, b := zs[zi].Split()
+	id := overlay.NodeID(len(c.zones))
+	// The joiner takes the half containing its chosen point.
+	if a.Contains(p) {
+		a, b = b, a
+	}
+	c.zones[owner][zi] = a
+	c.zones = append(c.zones, []Zone{b})
+	c.neighbors = append(c.neighbors, nil)
+	return id
+}
+
+// Join dynamically adds a node at point p after construction, returning its
+// ID, and incrementally repairs the neighbor sets of the affected
+// neighborhood (the old owner's neighbors, the old owner, and the joiner).
+func (c *Network) Join(p overlay.Point) overlay.NodeID {
+	owner := c.ownerOfPoint(p)
+	affected := append([]overlay.NodeID{owner}, c.neighbors[owner]...)
+	id := c.join(p)
+	affected = append(affected, id)
+	for _, n := range affected {
+		c.rebuildNeighbors(n)
+	}
+	// Nodes newly adjacent to id must also list it.
+	for _, n := range c.neighbors[id] {
+		c.rebuildNeighbors(n)
+	}
+	return id
+}
+
+// Leave removes node n, handing all its zones to the alive neighbor with
+// the smallest total volume (the paper's takeover rule: "a neighboring node
+// M takes over the departing node N's portion of the global index"). It
+// returns the absorbing neighbor. Removing the last node panics.
+func (c *Network) Leave(n overlay.NodeID) overlay.NodeID {
+	if !c.Alive(n) {
+		panic(fmt.Sprintf("can: Leave of dead or unknown %v", n))
+	}
+	nbrs := c.neighbors[n]
+	if len(nbrs) == 0 {
+		panic("can: cannot remove the last node")
+	}
+	heir := nbrs[0]
+	best := c.volume(heir)
+	for _, m := range nbrs[1:] {
+		if v := c.volume(m); v < best {
+			heir, best = m, v
+		}
+	}
+	affected := map[overlay.NodeID]bool{heir: true}
+	for _, m := range nbrs {
+		affected[m] = true
+	}
+	for _, m := range c.neighbors[heir] {
+		affected[m] = true
+	}
+	c.zones[heir] = append(c.zones[heir], c.zones[n]...)
+	c.zones[n] = nil
+	c.neighbors[n] = nil
+	delete(affected, n)
+	for m := range affected {
+		c.rebuildNeighbors(m)
+	}
+	return heir
+}
+
+// volume is the total area owned by n.
+func (c *Network) volume(n overlay.NodeID) float64 {
+	var v float64
+	for _, z := range c.zones[n] {
+		v += z.Area()
+	}
+	return v
+}
+
+// Alive reports whether n currently owns any zone.
+func (c *Network) Alive(n overlay.NodeID) bool {
+	return int(n) >= 0 && int(n) < len(c.zones) && len(c.zones[n]) > 0
+}
+
+// AliveNodes returns the IDs of all alive nodes in ascending order.
+func (c *Network) AliveNodes() []overlay.NodeID {
+	out := make([]overlay.NodeID, 0, len(c.zones))
+	for i := range c.zones {
+		if len(c.zones[i]) > 0 {
+			out = append(out, overlay.NodeID(i))
+		}
+	}
+	return out
+}
+
+// Size returns the number of alive nodes.
+func (c *Network) Size() int {
+	n := 0
+	for i := range c.zones {
+		if len(c.zones[i]) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Zones returns the zones owned by n (nil for departed nodes). The slice
+// must not be mutated.
+func (c *Network) Zones(n overlay.NodeID) []Zone { return c.zones[n] }
+
+// ownerOfPoint scans for the node whose zone contains p. Zones exactly tile
+// the space, so exactly one node matches.
+func (c *Network) ownerOfPoint(p overlay.Point) overlay.NodeID {
+	for i := range c.zones {
+		for _, z := range c.zones[i] {
+			if z.Contains(p) {
+				return overlay.NodeID(i)
+			}
+		}
+	}
+	panic(fmt.Sprintf("can: no zone contains %v", p))
+}
+
+// Owner returns the authority node for key k.
+func (c *Network) Owner(k overlay.Key) overlay.NodeID {
+	return c.ownerOfPoint(overlay.HashPoint(k))
+}
+
+// OwnerOfPoint returns the node whose zone contains p.
+func (c *Network) OwnerOfPoint(p overlay.Point) overlay.NodeID {
+	return c.ownerOfPoint(p)
+}
+
+// Neighbors returns n's neighbor set (alive nodes whose zones abut n's).
+func (c *Network) Neighbors(n overlay.NodeID) []overlay.NodeID {
+	return c.neighbors[n]
+}
+
+// dist is the torus distance from node n's closest zone to p.
+func (c *Network) dist(n overlay.NodeID, p overlay.Point) float64 {
+	best := 2.0
+	for _, z := range c.zones[n] {
+		if d := z.Dist(p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// NextHop implements greedy CAN routing: forward to the neighbor whose zone
+// is closest to the target point. Strict progress is preferred; when no
+// neighbor is strictly closer (a measure-zero geometric tie), the
+// equal-distance neighbor with the smallest ID below our own is taken, which
+// cannot produce a two-cycle.
+func (c *Network) NextHop(n overlay.NodeID, k overlay.Key) (overlay.NodeID, bool) {
+	p := overlay.HashPoint(k)
+	for _, z := range c.zones[n] {
+		if z.Contains(p) {
+			return n, true
+		}
+	}
+	own := c.dist(n, p)
+	best := overlay.NoNode
+	bestD := own
+	for _, m := range c.neighbors[n] {
+		d := c.dist(m, p)
+		if d < bestD || (d == bestD && best != overlay.NoNode && m < best) {
+			best, bestD = m, d
+		}
+	}
+	if best != overlay.NoNode {
+		return best, true
+	}
+	// No strict progress available: take the smallest-ID equal-distance
+	// neighbor smaller than ourselves, if any.
+	for _, m := range c.neighbors[n] {
+		if c.dist(m, p) == own && m < n {
+			return m, true
+		}
+	}
+	return overlay.NoNode, false
+}
+
+// rebuildNeighbors recomputes the neighbor set of one node by abutment.
+func (c *Network) rebuildNeighbors(n overlay.NodeID) {
+	if len(c.zones[n]) == 0 {
+		c.neighbors[n] = nil
+		return
+	}
+	var out []overlay.NodeID
+	for j := range c.zones {
+		m := overlay.NodeID(j)
+		if m == n || len(c.zones[j]) == 0 {
+			continue
+		}
+		if c.abuts(n, m) {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	c.neighbors[n] = out
+}
+
+func (c *Network) abuts(a, b overlay.NodeID) bool {
+	for _, za := range c.zones[a] {
+		for _, zb := range c.zones[b] {
+			if za.Abuts(zb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rebuildAllNeighbors recomputes every neighbor set (O(n²) zone pairs);
+// used once at construction.
+func (c *Network) rebuildAllNeighbors() {
+	for i := range c.zones {
+		c.rebuildNeighbors(overlay.NodeID(i))
+	}
+}
+
+// TotalArea sums all owned zone areas — exactly 1 when the tiling is intact.
+func (c *Network) TotalArea() float64 {
+	var v float64
+	for i := range c.zones {
+		v += c.volume(overlay.NodeID(i))
+	}
+	return v
+}
+
+// CheckInvariants verifies structural invariants: zones are valid and
+// mutually non-overlapping, the tiling covers the unit square, and neighbor
+// sets are symmetric and match abutment. Tests call this after mutation.
+func (c *Network) CheckInvariants() error {
+	var all []Zone
+	for i := range c.zones {
+		for _, z := range c.zones[i] {
+			if !z.Valid() {
+				return fmt.Errorf("node %d owns invalid zone %v", i, z)
+			}
+			all = append(all, z)
+		}
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[i].Overlaps(all[j]) {
+				return fmt.Errorf("zones overlap: %v and %v", all[i], all[j])
+			}
+		}
+	}
+	if v := c.TotalArea(); v < 0.999999 || v > 1.000001 {
+		return fmt.Errorf("total area = %v, want 1", v)
+	}
+	for i := range c.zones {
+		n := overlay.NodeID(i)
+		if !c.Alive(n) {
+			continue
+		}
+		for _, m := range c.neighbors[n] {
+			if !c.Alive(m) {
+				return fmt.Errorf("%v lists dead neighbor %v", n, m)
+			}
+			if !c.abuts(n, m) {
+				return fmt.Errorf("%v lists non-abutting neighbor %v", n, m)
+			}
+			found := false
+			for _, back := range c.neighbors[m] {
+				if back == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("neighbor relation asymmetric: %v -> %v", n, m)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+package can
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+func TestZoneSplitHalvesArea(t *testing.T) {
+	z := FullZone()
+	a, b := z.Split()
+	if a.Area()+b.Area() != z.Area() {
+		t.Fatalf("split areas %v + %v != %v", a.Area(), b.Area(), z.Area())
+	}
+	if a.Overlaps(b) {
+		t.Fatal("split halves overlap")
+	}
+	if !a.Abuts(b) {
+		t.Fatal("split halves do not abut")
+	}
+}
+
+func TestZoneSplitLongerDimension(t *testing.T) {
+	wide := Zone{0, 0, 1, 0.5}
+	a, b := wide.Split()
+	if a.Y1 != 0.5 || b.Y1 != 0.5 {
+		t.Fatalf("wide zone split along Y: %v %v", a, b)
+	}
+	tall := Zone{0, 0, 0.5, 1}
+	a, b = tall.Split()
+	if a.X1 != 0.5 || b.X1 != 0.5 {
+		t.Fatalf("tall zone split along X: %v %v", a, b)
+	}
+}
+
+func TestZoneContainsHalfOpen(t *testing.T) {
+	z := Zone{0.25, 0.25, 0.5, 0.5}
+	if !z.Contains(overlay.Point{X: 0.25, Y: 0.25}) {
+		t.Fatal("lower-left corner should be inside")
+	}
+	if z.Contains(overlay.Point{X: 0.5, Y: 0.25}) {
+		t.Fatal("X1 edge should be outside (half-open)")
+	}
+	if z.Contains(overlay.Point{X: 0.25, Y: 0.5}) {
+		t.Fatal("Y1 edge should be outside (half-open)")
+	}
+}
+
+func TestZoneDistInsideIsZero(t *testing.T) {
+	z := Zone{0.2, 0.2, 0.4, 0.4}
+	if d := z.Dist(overlay.Point{X: 0.3, Y: 0.3}); d != 0 {
+		t.Fatalf("Dist inside = %v, want 0", d)
+	}
+}
+
+func TestZoneDistWraparound(t *testing.T) {
+	// Zone near the right edge; point near the left edge: torus distance
+	// should go through the seam.
+	z := Zone{0.9, 0.4, 1.0, 0.6}
+	d := z.Dist(overlay.Point{X: 0.05, Y: 0.5})
+	if d > 0.051 {
+		t.Fatalf("wraparound Dist = %v, want ≈0.05", d)
+	}
+}
+
+func TestZoneAbutsSeam(t *testing.T) {
+	left := Zone{0, 0.4, 0.1, 0.6}
+	right := Zone{0.9, 0.4, 1.0, 0.6}
+	if !left.Abuts(right) {
+		t.Fatal("zones across the torus seam should abut")
+	}
+}
+
+func TestZoneCornerTouchIsNotNeighbor(t *testing.T) {
+	a := Zone{0, 0, 0.5, 0.5}
+	b := Zone{0.5, 0.5, 1, 1}
+	if a.Abuts(b) {
+		t.Fatal("corner-touching zones must not be neighbors")
+	}
+}
+
+func TestBuildBalancedGeometry(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		net := BuildBalanced(n)
+		if net.Size() != n {
+			t.Fatalf("Size = %d, want %d", net.Size(), n)
+		}
+		if err := net.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBuildBalancedRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BuildBalanced(3) did not panic")
+		}
+	}()
+	BuildBalanced(3)
+}
+
+func TestBuildRandomInvariants(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 100, 500} {
+		net := Build(n, sim.NewRand(int64(n)))
+		if net.Size() != n {
+			t.Fatalf("Size = %d, want %d", net.Size(), n)
+		}
+		if err := net.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBuildZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build(0) did not panic")
+		}
+	}()
+	Build(0, sim.NewRand(1))
+}
+
+func TestOwnerIsDeterministic(t *testing.T) {
+	net := Build(64, sim.NewRand(9))
+	for i := 0; i < 50; i++ {
+		k := overlay.Key(fmt.Sprintf("key-%d", i))
+		if net.Owner(k) != net.Owner(k) {
+			t.Fatal("Owner not deterministic")
+		}
+	}
+}
+
+func TestRoutingReachesOwner(t *testing.T) {
+	for _, n := range []int{1, 4, 32, 256, 1024} {
+		net := Build(n, sim.NewRand(int64(n)*7))
+		for i := 0; i < 100; i++ {
+			k := overlay.Key(fmt.Sprintf("key-%d-%d", n, i))
+			owner := net.Owner(k)
+			for _, start := range []overlay.NodeID{0, overlay.NodeID(n / 2), overlay.NodeID(n - 1)} {
+				path := overlay.PathTo(net, start, k, 10*n+64)
+				if path[len(path)-1] != owner {
+					t.Fatalf("n=%d key=%q: path ends at %v, owner %v", n, k, path[len(path)-1], owner)
+				}
+			}
+		}
+	}
+}
+
+func TestRoutingPathLengthScales(t *testing.T) {
+	// 2-D CAN routes in O(√n); check average path length grows sublinearly.
+	avg := func(n int) float64 {
+		net := Build(n, sim.NewRand(123))
+		r := sim.NewRand(321)
+		total := 0
+		const trials = 300
+		for i := 0; i < trials; i++ {
+			k := overlay.Key(fmt.Sprintf("sc-%d", i))
+			start := overlay.NodeID(r.Pick(n))
+			total += overlay.Distance(net, start, k, 10*n+64)
+		}
+		return float64(total) / trials
+	}
+	a256, a1024 := avg(256), avg(1024)
+	if a1024 > a256*3 {
+		t.Fatalf("path length not O(√n): n=256→%v hops, n=1024→%v hops", a256, a1024)
+	}
+	if a1024 < a256 {
+		t.Fatalf("path length should grow with n: %v vs %v", a256, a1024)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	net := Build(128, sim.NewRand(5))
+	for _, n := range net.AliveNodes() {
+		nbrs := net.Neighbors(n)
+		for i := 1; i < len(nbrs); i++ {
+			if nbrs[i] <= nbrs[i-1] {
+				t.Fatalf("neighbors of %v not sorted: %v", n, nbrs)
+			}
+		}
+	}
+}
+
+func TestJoinMaintainsInvariants(t *testing.T) {
+	net := Build(8, sim.NewRand(2))
+	r := sim.NewRand(22)
+	for i := 0; i < 40; i++ {
+		id := net.Join(overlay.Point{X: r.Float64(), Y: r.Float64()})
+		if !net.Alive(id) {
+			t.Fatalf("joined node %v not alive", id)
+		}
+		if err := net.CheckInvariants(); err != nil {
+			t.Fatalf("after join %d: %v", i, err)
+		}
+	}
+	if net.Size() != 48 {
+		t.Fatalf("Size = %d, want 48", net.Size())
+	}
+}
+
+func TestLeaveMaintainsInvariants(t *testing.T) {
+	net := Build(64, sim.NewRand(3))
+	r := sim.NewRand(33)
+	for i := 0; i < 40; i++ {
+		alive := net.AliveNodes()
+		victim := alive[r.Pick(len(alive))]
+		heir := net.Leave(victim)
+		if net.Alive(victim) {
+			t.Fatalf("left node %v still alive", victim)
+		}
+		if !net.Alive(heir) {
+			t.Fatalf("heir %v not alive", heir)
+		}
+		if err := net.CheckInvariants(); err != nil {
+			t.Fatalf("after leave %d: %v", i, err)
+		}
+	}
+	if net.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", net.Size())
+	}
+}
+
+func TestLeaveDeadNodePanics(t *testing.T) {
+	net := Build(4, sim.NewRand(1))
+	net.Leave(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Leave of dead node did not panic")
+		}
+	}()
+	net.Leave(2)
+}
+
+func TestChurnRoutingStillWorks(t *testing.T) {
+	net := Build(128, sim.NewRand(77))
+	r := sim.NewRand(78)
+	for round := 0; round < 20; round++ {
+		if r.Bernoulli(0.5) {
+			net.Join(overlay.Point{X: r.Float64(), Y: r.Float64()})
+		} else {
+			alive := net.AliveNodes()
+			net.Leave(alive[r.Pick(len(alive))])
+		}
+		alive := net.AliveNodes()
+		for i := 0; i < 10; i++ {
+			k := overlay.Key(fmt.Sprintf("churn-%d-%d", round, i))
+			start := alive[r.Pick(len(alive))]
+			path := overlay.PathTo(net, start, k, 4096)
+			if path[len(path)-1] != net.Owner(k) {
+				t.Fatalf("round %d: route to %q failed", round, k)
+			}
+		}
+	}
+}
+
+// Property: any random build tiles the space and routes any key from any
+// node to the unique owner.
+func TestPropertyBuildAndRoute(t *testing.T) {
+	f := func(seed int64, nRaw uint8, keyRaw uint16) bool {
+		n := int(nRaw%200) + 1
+		net := Build(n, sim.NewRand(seed))
+		if err := net.CheckInvariants(); err != nil {
+			return false
+		}
+		k := overlay.Key(fmt.Sprintf("p-%d", keyRaw))
+		start := overlay.NodeID(int(keyRaw) % n)
+		path := overlay.PathTo(net, start, k, 10*n+64)
+		return path[len(path)-1] == net.Owner(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRoute1024(b *testing.B) {
+	net := Build(1024, sim.NewRand(1))
+	keys := make([]overlay.Key, 256)
+	for i := range keys {
+		keys[i] = overlay.Key(fmt.Sprintf("bench-%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		overlay.PathTo(net, overlay.NodeID(i%1024), k, 4096)
+	}
+}
+
+func BenchmarkBuild1024(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Build(1024, sim.NewRand(int64(i)))
+	}
+}

@@ -1,0 +1,152 @@
+// Package chord implements a Chord ring overlay [SMK+01] over a 64-bit
+// identifier space, with finger tables and greedy closest-preceding-finger
+// routing. CUP is overlay-agnostic (§2.2 of the paper lists Chord among the
+// substrates it supports); this package backs the overlay-ablation
+// experiment that re-runs the CUP evaluation on Chord instead of CAN.
+package chord
+
+import (
+	"fmt"
+	"sort"
+
+	"cup/internal/overlay"
+)
+
+const fingerBits = 64
+
+// Ring is a static Chord ring. Nodes are placed on the 2^64 identifier
+// circle by hashing their labels; each key is owned by its successor node.
+// Ring implements overlay.Overlay.
+type Ring struct {
+	ids     []uint64           // ring position per NodeID (dense index)
+	order   []overlay.NodeID   // nodes sorted by ring position
+	fingers [][]overlay.NodeID // finger[i][b] = successor(ids[i] + 2^b)
+	succ    []overlay.NodeID   // immediate successor per node
+	pred    []overlay.NodeID   // immediate predecessor per node
+}
+
+var _ overlay.Overlay = (*Ring)(nil)
+
+// Build constructs a ring of n nodes with deterministic labels
+// "chord-node-<i>". Labels collide on the ring with probability ~n²/2^64,
+// which is negligible; a collision panics rather than silently corrupting
+// ownership.
+func Build(n int) *Ring {
+	if n <= 0 {
+		panic("chord: Build requires n > 0")
+	}
+	r := &Ring{
+		ids:     make([]uint64, n),
+		order:   make([]overlay.NodeID, n),
+		fingers: make([][]overlay.NodeID, n),
+		succ:    make([]overlay.NodeID, n),
+		pred:    make([]overlay.NodeID, n),
+	}
+	seen := make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		id := overlay.HashNodeID(fmt.Sprintf("chord-node-%d", i))
+		if seen[id] {
+			panic(fmt.Sprintf("chord: ring position collision at node %d", i))
+		}
+		seen[id] = true
+		r.ids[i] = id
+		r.order[i] = overlay.NodeID(i)
+	}
+	sort.Slice(r.order, func(a, b int) bool { return r.ids[r.order[a]] < r.ids[r.order[b]] })
+	for pos, node := range r.order {
+		r.succ[node] = r.order[(pos+1)%n]
+		r.pred[node] = r.order[(pos-1+n)%n]
+	}
+	for i := 0; i < n; i++ {
+		r.fingers[i] = r.buildFingers(overlay.NodeID(i))
+	}
+	return r
+}
+
+// buildFingers computes the classic finger table: entry b points at the
+// first node whose identifier succeeds ids[n] + 2^b (mod 2^64). Duplicate
+// consecutive fingers are kept — the table is indexed positionally.
+func (r *Ring) buildFingers(n overlay.NodeID) []overlay.NodeID {
+	out := make([]overlay.NodeID, fingerBits)
+	for b := 0; b < fingerBits; b++ {
+		target := r.ids[n] + (uint64(1) << uint(b)) // wraps naturally mod 2^64
+		out[b] = r.successorOf(target)
+	}
+	return out
+}
+
+// successorOf returns the node owning identifier t: the first node at or
+// clockwise after t.
+func (r *Ring) successorOf(t uint64) overlay.NodeID {
+	i := sort.Search(len(r.order), func(i int) bool { return r.ids[r.order[i]] >= t })
+	if i == len(r.order) {
+		i = 0
+	}
+	return r.order[i]
+}
+
+// Size returns the number of nodes.
+func (r *Ring) Size() int { return len(r.ids) }
+
+// ID returns n's position on the identifier circle.
+func (r *Ring) ID(n overlay.NodeID) uint64 { return r.ids[n] }
+
+// Successor returns the node clockwise-adjacent to n.
+func (r *Ring) Successor(n overlay.NodeID) overlay.NodeID { return r.succ[n] }
+
+// Predecessor returns the node counterclockwise-adjacent to n.
+func (r *Ring) Predecessor(n overlay.NodeID) overlay.NodeID { return r.pred[n] }
+
+// Owner returns the authority node for key k (the successor of its hash).
+func (r *Ring) Owner(k overlay.Key) overlay.NodeID {
+	return r.successorOf(overlay.HashID(k))
+}
+
+// between reports whether x ∈ (a, b] on the identifier circle.
+func between(a, x, b uint64) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	return x > a || x <= b // wrapped interval
+}
+
+// NextHop implements Chord routing: if n owns k, stop; if k falls between n
+// and its successor, hop to the successor (which owns it); otherwise hop to
+// the closest finger preceding k. Each hop at least halves the remaining
+// clockwise distance, so paths are O(log n).
+func (r *Ring) NextHop(n overlay.NodeID, k overlay.Key) (overlay.NodeID, bool) {
+	t := overlay.HashID(k)
+	if r.Owner(k) == n {
+		return n, true
+	}
+	if between(r.ids[n], t, r.ids[r.succ[n]]) {
+		return r.succ[n], true
+	}
+	// Closest preceding finger: highest finger strictly inside (n, t).
+	for b := fingerBits - 1; b >= 0; b-- {
+		f := r.fingers[n][b]
+		if f != n && between(r.ids[n], r.ids[f], t) && r.ids[f] != t {
+			return f, true
+		}
+	}
+	return r.succ[n], true
+}
+
+// Neighbors returns the routing neighbors of n: its distinct finger-table
+// entries plus successor and predecessor. In CUP terms these are the peers
+// with which n maintains query/update channels.
+func (r *Ring) Neighbors(n overlay.NodeID) []overlay.NodeID {
+	set := map[overlay.NodeID]bool{r.succ[n]: true, r.pred[n]: true}
+	for _, f := range r.fingers[n] {
+		if f != n {
+			set[f] = true
+		}
+	}
+	delete(set, n)
+	out := make([]overlay.NodeID, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

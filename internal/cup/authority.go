@@ -1,0 +1,114 @@
+package cup
+
+import (
+	"cup/internal/cache"
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+// This file implements the authority-side overhead-reduction techniques of
+// §3.6: with many replicas per key, pushing every replica refresh as a
+// separate update can overtake standard caching's total cost, so the
+// authority can either (a) suppress a fraction of replica refreshes,
+// propagating only a subset and thereby balancing demand across replicas,
+// or (b) aggregate refreshes — wait a threshold after the first refresh
+// and batch every update for the same key arriving within the window into
+// one update. The paper leaves the threshold function open ("We are
+// experimenting with different kinds of threshold functions"); we provide
+// a fixed window and a dynamic window scaled by replica count.
+
+// RefreshPolicy configures how an authority propagates replica refreshes.
+type RefreshPolicy struct {
+	// SuppressFraction, in (0, 1], propagates only this fraction of
+	// replica refreshes (deterministic credit counter); 0 propagates all.
+	SuppressFraction float64
+	// AggregateWindow batches refreshes for the same key arriving within
+	// the window into a single multi-entry update; 0 disables batching.
+	AggregateWindow sim.Duration
+	// DynamicWindow, when true, scales the window with the number of
+	// replicas currently registered for the key: window = AggregateWindow
+	// × replicas / DynamicBase. This keeps the batch size roughly
+	// constant as replicas are added (§3.6's suggested dynamic
+	// adjustment).
+	DynamicWindow bool
+	// DynamicBase is the replica count at which the dynamic window equals
+	// AggregateWindow (default 10).
+	DynamicBase int
+}
+
+// enabled reports whether any technique is active.
+func (rp RefreshPolicy) enabled() bool {
+	return rp.SuppressFraction > 0 || rp.AggregateWindow > 0
+}
+
+// window returns the batching window for a key with n registered replicas.
+func (rp RefreshPolicy) window(n int) sim.Duration {
+	if !rp.DynamicWindow {
+		return rp.AggregateWindow
+	}
+	base := rp.DynamicBase
+	if base <= 0 {
+		base = 10
+	}
+	w := rp.AggregateWindow * sim.Duration(n) / sim.Duration(base)
+	if w < rp.AggregateWindow/4 {
+		w = rp.AggregateWindow / 4
+	}
+	return w
+}
+
+// refreshGate applies a RefreshPolicy at one authority node: refreshes
+// flow through Offer, which either releases them (possibly batched via the
+// transport-scheduled flush) or swallows them.
+type refreshGate struct {
+	policy  RefreshPolicy
+	credit  float64
+	pending map[overlay.Key][]cache.Entry
+	armed   map[overlay.Key]bool
+}
+
+func newRefreshGate(p RefreshPolicy) *refreshGate {
+	return &refreshGate{
+		policy:  p,
+		pending: make(map[overlay.Key][]cache.Entry),
+		armed:   make(map[overlay.Key]bool),
+	}
+}
+
+// Offer submits one replica refresh. It returns:
+//   - release = the update to propagate now (nil if withheld), and
+//   - flushIn > 0 when the caller must schedule Flush(key) after that
+//     delay (the batching window has just opened).
+func (g *refreshGate) Offer(k overlay.Key, e cache.Entry, replicas int) (release []cache.Entry, flushIn sim.Duration) {
+	// Suppression first: a withheld refresh never enters a batch, exactly
+	// like the paper's "selectively choose to propagate a subset of the
+	// replica refreshes and suppress others".
+	if f := g.policy.SuppressFraction; f > 0 && f < 1 {
+		g.credit += f
+		if g.credit < 1 {
+			return nil, 0
+		}
+		g.credit--
+	}
+	if g.policy.AggregateWindow <= 0 {
+		return []cache.Entry{e}, 0
+	}
+	g.pending[k] = append(g.pending[k], e)
+	if !g.armed[k] {
+		g.armed[k] = true
+		return nil, g.policy.window(replicas)
+	}
+	return nil, 0
+}
+
+// Flush closes the batching window for k and returns the batched entries
+// (nil when everything already drained).
+func (g *refreshGate) Flush(k overlay.Key) []cache.Entry {
+	out := g.pending[k]
+	delete(g.pending, k)
+	delete(g.armed, k)
+	return out
+}
+
+// PendingBatches reports how many keys have an open batching window.
+func (g *refreshGate) PendingBatches() int { return len(g.pending) }

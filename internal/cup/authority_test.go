@@ -1,0 +1,182 @@
+package cup
+
+import (
+	"testing"
+
+	"cup/internal/cache"
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+func gateEntry(r int, exp sim.Time) cache.Entry {
+	return cache.Entry{Key: "k", Replica: r, Expires: exp}
+}
+
+func TestRefreshPolicyDisabledPassesThrough(t *testing.T) {
+	g := newRefreshGate(RefreshPolicy{})
+	release, flushIn := g.Offer("k", gateEntry(0, 100), 1)
+	if len(release) != 1 || flushIn != 0 {
+		t.Fatalf("release=%v flushIn=%v", release, flushIn)
+	}
+}
+
+func TestRefreshSuppressionFraction(t *testing.T) {
+	g := newRefreshGate(RefreshPolicy{SuppressFraction: 0.25})
+	released := 0
+	for i := 0; i < 100; i++ {
+		if rel, _ := g.Offer("k", gateEntry(i, 100), 1); rel != nil {
+			released++
+		}
+	}
+	if released != 25 {
+		t.Fatalf("released %d of 100 at fraction 0.25, want exactly 25", released)
+	}
+}
+
+func TestRefreshAggregationBatches(t *testing.T) {
+	g := newRefreshGate(RefreshPolicy{AggregateWindow: 10})
+	rel, flushIn := g.Offer("k", gateEntry(0, 100), 5)
+	if rel != nil {
+		t.Fatal("batched refresh released immediately")
+	}
+	if flushIn != 10 {
+		t.Fatalf("flushIn = %v, want 10", flushIn)
+	}
+	// More refreshes inside the window join the batch without re-arming.
+	for i := 1; i < 5; i++ {
+		rel, flushIn = g.Offer("k", gateEntry(i, 100), 5)
+		if rel != nil || flushIn != 0 {
+			t.Fatalf("refresh %d: rel=%v flushIn=%v", i, rel, flushIn)
+		}
+	}
+	batch := g.Flush("k")
+	if len(batch) != 5 {
+		t.Fatalf("batch size = %d, want 5", len(batch))
+	}
+	if g.PendingBatches() != 0 {
+		t.Fatal("pending batches after flush")
+	}
+	// Window closed: the next refresh re-arms.
+	if _, flushIn = g.Offer("k", gateEntry(9, 200), 5); flushIn != 10 {
+		t.Fatalf("window did not re-arm: flushIn=%v", flushIn)
+	}
+}
+
+func TestRefreshAggregationPerKeyWindows(t *testing.T) {
+	g := newRefreshGate(RefreshPolicy{AggregateWindow: 10})
+	g.Offer("a", gateEntry(0, 100), 1)
+	g.Offer("b", gateEntry(0, 100), 1)
+	if g.PendingBatches() != 2 {
+		t.Fatalf("pending = %d, want 2", g.PendingBatches())
+	}
+	if len(g.Flush("a")) != 1 || len(g.Flush("b")) != 1 {
+		t.Fatal("per-key flush broken")
+	}
+}
+
+func TestRefreshFlushEmptyKey(t *testing.T) {
+	g := newRefreshGate(RefreshPolicy{AggregateWindow: 10})
+	if got := g.Flush("nothing"); got != nil {
+		t.Fatalf("Flush of empty key = %v", got)
+	}
+}
+
+func TestDynamicWindowScalesWithReplicas(t *testing.T) {
+	p := RefreshPolicy{AggregateWindow: 10, DynamicWindow: true, DynamicBase: 10}
+	if w := p.window(10); w != 10 {
+		t.Fatalf("window(10) = %v, want 10", w)
+	}
+	if w := p.window(100); w != 100 {
+		t.Fatalf("window(100) = %v, want 100", w)
+	}
+	// Floor at a quarter of the base window.
+	if w := p.window(1); w != 2.5 {
+		t.Fatalf("window(1) = %v, want 2.5", w)
+	}
+}
+
+func TestSuppressionComposesWithAggregation(t *testing.T) {
+	g := newRefreshGate(RefreshPolicy{SuppressFraction: 0.5, AggregateWindow: 10})
+	batched := 0
+	for i := 0; i < 10; i++ {
+		g.Offer("k", gateEntry(i, 100), 10)
+	}
+	batched = len(g.Flush("k"))
+	if batched != 5 {
+		t.Fatalf("batch = %d after 50%% suppression of 10, want 5", batched)
+	}
+}
+
+func TestSimulationAggregationReducesOriginations(t *testing.T) {
+	base := Params{Nodes: 64, QueryRate: 2, QueryDuration: 600, Replicas: 10, Seed: 9}
+	plain := Run(base)
+	agg := base
+	agg.RefreshPolicy = RefreshPolicy{AggregateWindow: 30}
+	batched := Run(agg)
+	if batched.Counters.UpdatesOriginated >= plain.Counters.UpdatesOriginated {
+		t.Fatalf("aggregation did not reduce originations: %d vs %d",
+			batched.Counters.UpdatesOriginated, plain.Counters.UpdatesOriginated)
+	}
+	if batched.Counters.UpdateHops >= plain.Counters.UpdateHops {
+		t.Fatalf("aggregation did not reduce update hops: %d vs %d",
+			batched.Counters.UpdateHops, plain.Counters.UpdateHops)
+	}
+}
+
+func TestSimulationSuppressionReducesOverhead(t *testing.T) {
+	base := Params{Nodes: 64, QueryRate: 2, QueryDuration: 600, Replicas: 10, Seed: 9}
+	plain := Run(base)
+	sup := base
+	sup.RefreshPolicy = RefreshPolicy{SuppressFraction: 0.2}
+	suppressed := Run(sup)
+	if suppressed.Counters.UpdateHops >= plain.Counters.UpdateHops {
+		t.Fatalf("suppression did not reduce update hops: %d vs %d",
+			suppressed.Counters.UpdateHops, plain.Counters.UpdateHops)
+	}
+}
+
+func TestPiggybackReducesClearBitHops(t *testing.T) {
+	// Multi-key workloads give clear-bits carriers: queries and updates
+	// for other keys traveling the same link.
+	base := Params{Nodes: 64, Keys: 16, QueryRate: 10, QueryDuration: 900, Seed: 4}
+	plain := Run(base)
+	pb := base
+	pb.PiggybackClearBits = true
+	pb.PiggybackWindow = 120 // clear-bits are in no hurry (§2.7)
+	piggy := Run(pb)
+	total := piggy.Counters.ClearBitHops + piggy.Counters.PiggybackedClearBits
+	if total == 0 {
+		t.Fatal("no clear-bits at all in piggyback run")
+	}
+	if piggy.Counters.PiggybackedClearBits == 0 {
+		t.Fatal("nothing piggybacked despite carrier traffic")
+	}
+	if piggy.Counters.ClearBitHops >= plain.Counters.ClearBitHops {
+		t.Fatalf("piggybacking did not reduce standalone clear-bits: %d vs %d",
+			piggy.Counters.ClearBitHops, plain.Counters.ClearBitHops)
+	}
+}
+
+func TestPiggybackDeliversClearBitsEventually(t *testing.T) {
+	// Protocol correctness: with piggybacking on, interest bits must still
+	// get cleared — compare cut-off-driven update suppression across runs.
+	base := Params{Nodes: 64, QueryRate: 0.5, QueryDuration: 900, Seed: 4}
+	pb := base
+	pb.PiggybackClearBits = true
+	res := Run(pb)
+	if res.Counters.ClearBitHops+res.Counters.PiggybackedClearBits == 0 {
+		t.Fatal("no clear-bit deliveries with piggybacking enabled")
+	}
+}
+
+func TestOverlayRouterInvalidate(t *testing.T) {
+	net := Params{Nodes: 16, QueryRate: 1, QueryDuration: 60, Seed: 2}
+	s := NewSimulation(net)
+	k := s.Keys[0]
+	first := s.Router.NextHopTowardOwner(overlay.NodeID(3), k)
+	s.Router.Invalidate()
+	second := s.Router.NextHopTowardOwner(overlay.NodeID(3), k)
+	if first != second {
+		t.Fatalf("static overlay route changed after Invalidate: %v vs %v", first, second)
+	}
+}

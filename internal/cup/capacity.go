@@ -1,0 +1,171 @@
+package cup
+
+import (
+	"sort"
+
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+// Limiter implements §2.8's adaptive control of update push: a node with
+// outgoing capacity U updates per drain interval divides U among its
+// outgoing update channels proportionally to queue length (keeping queues
+// roughly equally sized), re-orders queued updates so the most impactful
+// go first (first-time, delete, refresh, append; nearer-expiry first within
+// a class), and eliminates expired updates during re-ordering. Queues are
+// naturally bounded by entry expiration: even a fully shut-off channel
+// drains as its contents expire.
+//
+// The fraction-based thinning in Node.SetCapacity models the paper's §3.7
+// experiments; Limiter is the full queue mechanism, exercised by the
+// reordering ablation and available to transports that batch update
+// transmission.
+type Limiter struct {
+	queues map[overlay.NodeID][]Update
+	total  int
+}
+
+// NewLimiter returns an empty limiter.
+func NewLimiter() *Limiter {
+	return &Limiter{queues: make(map[overlay.NodeID][]Update)}
+}
+
+// Enqueue adds an update bound for neighbor to the channel queue.
+func (l *Limiter) Enqueue(to overlay.NodeID, u Update) {
+	l.queues[to] = append(l.queues[to], u)
+	l.total++
+}
+
+// Len returns the total queued updates across channels.
+func (l *Limiter) Len() int { return l.total }
+
+// QueueLen returns the queue length for one neighbor.
+func (l *Limiter) QueueLen(to overlay.NodeID) int { return len(l.queues[to]) }
+
+// Outgoing is one update released by Drain.
+type Outgoing struct {
+	To overlay.NodeID
+	U  Update
+}
+
+// rank orders updates for transmission: §2.8's type priority first, then
+// proximity to expiration (entries closest to expiring are pushed first
+// within a class, since they are the ones about to cause freshness misses).
+func rank(a, b Update) bool {
+	if pa, pb := a.Type.Priority(), b.Type.Priority(); pa != pb {
+		return pa < pb
+	}
+	return a.Expires < b.Expires
+}
+
+// Drop removes expired updates from all queues and returns the count
+// eliminated (§2.8: "during the re-ordering any expired updates are
+// eliminated").
+func (l *Limiter) Drop(now sim.Time) int {
+	dropped := 0
+	for to, q := range l.queues {
+		keep := q[:0]
+		for _, u := range q {
+			if u.Type == Delete || u.Expires > now {
+				keep = append(keep, u)
+			} else {
+				dropped++
+			}
+		}
+		if len(keep) == 0 {
+			delete(l.queues, to)
+		} else {
+			l.queues[to] = keep
+		}
+	}
+	l.total -= dropped
+	return dropped
+}
+
+// Drain releases up to budget updates, allocating the budget across
+// channels proportionally to their queue lengths (longer queues get more
+// slots, equalizing them) and re-ordering each channel by rank. Expired
+// updates are eliminated first and do not consume budget. A negative
+// budget releases everything.
+func (l *Limiter) Drain(now sim.Time, budget int) []Outgoing {
+	l.Drop(now)
+	if l.total == 0 || budget == 0 {
+		return nil
+	}
+	if budget < 0 || budget > l.total {
+		budget = l.total
+	}
+	// Deterministic channel order.
+	chans := make([]overlay.NodeID, 0, len(l.queues))
+	for to := range l.queues {
+		chans = append(chans, to)
+	}
+	sort.Slice(chans, func(i, j int) bool { return chans[i] < chans[j] })
+
+	// Proportional allocation with largest-remainder rounding.
+	type alloc struct {
+		to    overlay.NodeID
+		share float64
+		n     int
+	}
+	allocs := make([]alloc, len(chans))
+	granted := 0
+	for i, to := range chans {
+		exact := float64(budget) * float64(len(l.queues[to])) / float64(l.total)
+		n := int(exact)
+		if n > len(l.queues[to]) {
+			n = len(l.queues[to])
+		}
+		allocs[i] = alloc{to: to, share: exact - float64(n), n: n}
+		granted += n
+	}
+	// Distribute the remainder to the largest fractional shares (ties by
+	// lower node ID for determinism), respecting queue lengths.
+	rest := budget - granted
+	order := make([]int, len(allocs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := allocs[order[a]], allocs[order[b]]
+		if ia.share != ib.share {
+			return ia.share > ib.share
+		}
+		return ia.to < ib.to
+	})
+	for rest > 0 {
+		progressed := false
+		for _, i := range order {
+			if rest == 0 {
+				break
+			}
+			if allocs[i].n < len(l.queues[allocs[i].to]) {
+				allocs[i].n++
+				rest--
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	var out []Outgoing
+	for _, a := range allocs {
+		if a.n == 0 {
+			continue
+		}
+		q := l.queues[a.to]
+		sort.SliceStable(q, func(i, j int) bool { return rank(q[i], q[j]) })
+		for i := 0; i < a.n; i++ {
+			out = append(out, Outgoing{To: a.to, U: q[i]})
+		}
+		if a.n == len(q) {
+			delete(l.queues, a.to)
+		} else {
+			l.queues[a.to] = q[a.n:]
+		}
+		l.total -= a.n
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package cup
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cup/internal/cache"
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+func qu(t UpdateType, exp sim.Time) Update {
+	return Update{Key: "k", Type: t, Expires: exp,
+		Entries: []cache.Entry{{Key: "k", Replica: 0, Expires: exp}}}
+}
+
+func TestLimiterEnqueueLen(t *testing.T) {
+	l := NewLimiter()
+	if l.Len() != 0 {
+		t.Fatal("new limiter not empty")
+	}
+	l.Enqueue(1, qu(Refresh, 100))
+	l.Enqueue(1, qu(Refresh, 200))
+	l.Enqueue(2, qu(Refresh, 300))
+	if l.Len() != 3 || l.QueueLen(1) != 2 || l.QueueLen(2) != 1 {
+		t.Fatalf("Len=%d q1=%d q2=%d", l.Len(), l.QueueLen(1), l.QueueLen(2))
+	}
+}
+
+func TestDrainUnlimitedReleasesAll(t *testing.T) {
+	l := NewLimiter()
+	for i := 0; i < 10; i++ {
+		l.Enqueue(overlay.NodeID(i%3), qu(Refresh, sim.Time(100+i)))
+	}
+	out := l.Drain(0, -1)
+	if len(out) != 10 || l.Len() != 0 {
+		t.Fatalf("drained %d, remaining %d", len(out), l.Len())
+	}
+}
+
+func TestDrainRespectsBudget(t *testing.T) {
+	l := NewLimiter()
+	for i := 0; i < 10; i++ {
+		l.Enqueue(1, qu(Refresh, sim.Time(100+i)))
+	}
+	out := l.Drain(0, 4)
+	if len(out) != 4 || l.Len() != 6 {
+		t.Fatalf("drained %d, remaining %d", len(out), l.Len())
+	}
+}
+
+func TestDrainZeroBudget(t *testing.T) {
+	l := NewLimiter()
+	l.Enqueue(1, qu(Refresh, 100))
+	if out := l.Drain(0, 0); out != nil {
+		t.Fatalf("zero budget released %d", len(out))
+	}
+}
+
+func TestDrainProportionalAllocation(t *testing.T) {
+	l := NewLimiter()
+	// Channel 1 has 8 queued, channel 2 has 2: with budget 5 the shares
+	// are 4 and 1 — proportional keeps queues equalizing.
+	for i := 0; i < 8; i++ {
+		l.Enqueue(1, qu(Refresh, sim.Time(100+i)))
+	}
+	for i := 0; i < 2; i++ {
+		l.Enqueue(2, qu(Refresh, sim.Time(100+i)))
+	}
+	out := l.Drain(0, 5)
+	count := map[overlay.NodeID]int{}
+	for _, o := range out {
+		count[o.To]++
+	}
+	if count[1] != 4 || count[2] != 1 {
+		t.Fatalf("allocation = %v, want map[1:4 2:1]", count)
+	}
+}
+
+func TestDrainTypePriorityOrder(t *testing.T) {
+	l := NewLimiter()
+	l.Enqueue(1, qu(Append, 100))
+	l.Enqueue(1, qu(Refresh, 100))
+	l.Enqueue(1, qu(Delete, 100))
+	l.Enqueue(1, qu(FirstTime, 100))
+	out := l.Drain(0, -1)
+	want := []UpdateType{FirstTime, Delete, Refresh, Append}
+	for i, o := range out {
+		if o.U.Type != want[i] {
+			t.Fatalf("position %d = %v, want %v", i, o.U.Type, want[i])
+		}
+	}
+}
+
+func TestDrainExpiryProximityWithinClass(t *testing.T) {
+	l := NewLimiter()
+	l.Enqueue(1, qu(Refresh, 300))
+	l.Enqueue(1, qu(Refresh, 100))
+	l.Enqueue(1, qu(Refresh, 200))
+	out := l.Drain(0, -1)
+	if out[0].U.Expires != 100 || out[1].U.Expires != 200 || out[2].U.Expires != 300 {
+		t.Fatalf("not expiry-ordered: %v %v %v", out[0].U.Expires, out[1].U.Expires, out[2].U.Expires)
+	}
+}
+
+func TestDropEliminatesExpired(t *testing.T) {
+	l := NewLimiter()
+	l.Enqueue(1, qu(Refresh, 50))
+	l.Enqueue(1, qu(Refresh, 150))
+	l.Enqueue(2, qu(Append, 60))
+	if n := l.Drop(100); n != 2 {
+		t.Fatalf("Drop = %d, want 2", n)
+	}
+	if l.Len() != 1 || l.QueueLen(2) != 0 {
+		t.Fatalf("Len=%d q2=%d", l.Len(), l.QueueLen(2))
+	}
+}
+
+func TestDropKeepsDeletes(t *testing.T) {
+	l := NewLimiter()
+	l.Enqueue(1, qu(Delete, 50))
+	if n := l.Drop(100); n != 0 {
+		t.Fatalf("Drop removed a delete: %d", n)
+	}
+}
+
+func TestDrainDoesNotChargeExpired(t *testing.T) {
+	l := NewLimiter()
+	l.Enqueue(1, qu(Refresh, 50)) // expired at drain time
+	l.Enqueue(1, qu(Refresh, 150))
+	out := l.Drain(100, 1)
+	if len(out) != 1 || out[0].U.Expires != 150 {
+		t.Fatalf("out = %+v", out)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", l.Len())
+	}
+}
+
+func TestDrainDeterministicAcrossChannels(t *testing.T) {
+	build := func() *Limiter {
+		l := NewLimiter()
+		for i := 0; i < 30; i++ {
+			l.Enqueue(overlay.NodeID(i%5), qu(Refresh, sim.Time(100+i)))
+		}
+		return l
+	}
+	a := build().Drain(0, 13)
+	b := build().Drain(0, 13)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic drain size")
+	}
+	for i := range a {
+		if a[i].To != b[i].To || a[i].U.Expires != b[i].U.Expires {
+			t.Fatalf("nondeterministic drain at %d", i)
+		}
+	}
+}
+
+// Property: Drain never exceeds the budget and conserves updates
+// (drained + remaining + dropped == enqueued).
+func TestPropertyDrainConservation(t *testing.T) {
+	f := func(raw []uint8, budgetRaw uint8) bool {
+		l := NewLimiter()
+		for i, v := range raw {
+			l.Enqueue(overlay.NodeID(v%4), qu(Refresh, sim.Time(50+int(v))))
+			_ = i
+		}
+		enq := len(raw)
+		now := sim.Time(80)
+		budget := int(budgetRaw % 20)
+		dropped := 0
+		for _, v := range raw {
+			if sim.Time(50+int(v)) <= now {
+				dropped++
+			}
+		}
+		out := l.Drain(now, budget)
+		if len(out) > budget {
+			return false
+		}
+		return len(out)+l.Len()+dropped == enq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a budget below total, longer queues release at least as
+// many updates as strictly shorter ones (proportional fairness).
+func TestPropertyProportionalFairness(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		na, nb := int(aRaw%20)+1, int(bRaw%20)+1
+		l := NewLimiter()
+		for i := 0; i < na; i++ {
+			l.Enqueue(1, qu(Refresh, sim.Time(1000+i)))
+		}
+		for i := 0; i < nb; i++ {
+			l.Enqueue(2, qu(Refresh, sim.Time(1000+i)))
+		}
+		budget := (na + nb) / 2
+		if budget == 0 {
+			return true
+		}
+		out := l.Drain(0, budget)
+		count := map[overlay.NodeID]int{}
+		for _, o := range out {
+			count[o.To]++
+		}
+		if na > nb && count[1] < count[2] {
+			return false
+		}
+		if nb > na && count[2] < count[1] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

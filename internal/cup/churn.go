@@ -1,0 +1,128 @@
+package cup
+
+import (
+	"fmt"
+
+	"cup/internal/can"
+	"cup/internal/overlay"
+)
+
+// This file implements §2.9 — node arrivals and departures — for the
+// discrete-event driver. Churn is supported on the CAN overlay (zones
+// split on join and are absorbed by a neighbor on departure). On every
+// membership change the routing memo is invalidated, the affected nodes'
+// interest bit vectors are patched, and on departure the heir takes over
+// the departed node's portion of the global index (the paper's
+// hand-over alternative, which avoids restarting update propagation).
+
+// canNet returns the overlay as a mutable CAN, or nil when the run uses a
+// static substrate.
+func (s *Simulation) canNet() *can.Network {
+	c, _ := s.Ov.(*can.Network)
+	return c
+}
+
+// NodeAlive reports whether id is currently a member.
+func (s *Simulation) NodeAlive(id overlay.NodeID) bool {
+	if int(id) < 0 || int(id) >= len(s.Nodes) {
+		return false
+	}
+	if c := s.canNet(); c != nil {
+		return c.Alive(id)
+	}
+	return true
+}
+
+// JoinNode adds a fresh node at a random point in the coordinate space
+// (§2.9 Arrivals): the owner of the point splits its zone, neighbor sets
+// are repaired, stale routes are dropped, and the affected nodes patch
+// their interest bit vectors. The new node's ID is returned.
+func (s *Simulation) JoinNode() overlay.NodeID {
+	c := s.canNet()
+	if c == nil {
+		panic("cup: JoinNode requires the CAN overlay")
+	}
+	s.Router.Dynamic = true
+	p := overlay.Point{X: s.Rng.Float64(), Y: s.Rng.Float64()}
+	prevOwner := c.OwnerOfPoint(p)
+	id := c.Join(p)
+	s.Router.Invalidate()
+
+	node := NewNode(id, s.P.Config, s.Router, s.Sched.Now)
+	if int(id) != len(s.Nodes) {
+		panic(fmt.Sprintf("cup: CAN issued id %v, expected %d", id, len(s.Nodes)))
+	}
+	s.Nodes = append(s.Nodes, node)
+
+	// The previous owner hands over the index entries that now hash into
+	// the joiner's zone (§2.9: "M could give a copy of its stored index
+	// entries to N").
+	s.handOverLocal(prevOwner, id)
+	s.patchNeighborhood(append([]overlay.NodeID{id, prevOwner}, c.Neighbors(id)...))
+	return id
+}
+
+// LeaveNode removes a member (§2.9 Departures): a neighboring node takes
+// over its zones and its portion of the global index; interest bit
+// vectors in the neighborhood are patched; cached entries at other nodes
+// simply expire. The heir's ID is returned.
+func (s *Simulation) LeaveNode(victim overlay.NodeID) overlay.NodeID {
+	c := s.canNet()
+	if c == nil {
+		panic("cup: LeaveNode requires the CAN overlay")
+	}
+	if !c.Alive(victim) {
+		panic(fmt.Sprintf("cup: LeaveNode of dead %v", victim))
+	}
+	s.Router.Dynamic = true
+	affected := append([]overlay.NodeID{}, c.Neighbors(victim)...)
+	heir := c.Leave(victim)
+	s.Router.Invalidate()
+
+	// Graceful departure hands the local index directory to the heir and
+	// the heir merges it (duplicates eliminated by keyed storage).
+	s.handOverAll(victim, heir)
+	s.patchNeighborhood(append(affected, heir))
+	return heir
+}
+
+// handOverLocal moves the entries of from's local directory whose keys now
+// belong to to (after a zone split).
+func (s *Simulation) handOverLocal(from, to overlay.NodeID) {
+	dir := s.Nodes[from].LocalDirectory()
+	for _, k := range dir.Keys() {
+		if s.Ov.Owner(k) != to {
+			continue
+		}
+		for _, e := range dir.All(k) {
+			s.Nodes[to].InstallLocal(e)
+			s.Nodes[from].RemoveLocal(k, e.Replica)
+		}
+	}
+}
+
+// handOverAll moves every local entry from a departing node to its heir.
+func (s *Simulation) handOverAll(from, to overlay.NodeID) {
+	dir := s.Nodes[from].LocalDirectory()
+	for _, k := range dir.Keys() {
+		for _, e := range dir.All(k) {
+			s.Nodes[to].InstallLocal(e)
+		}
+		dir.RemoveKey(k)
+	}
+}
+
+// patchNeighborhood re-syncs interest bit vectors with current neighbor
+// sets for the affected nodes (§2.9: "the bit vector patching is a local
+// operation that affects only each individual node").
+func (s *Simulation) patchNeighborhood(nodes []overlay.NodeID) {
+	c := s.canNet()
+	seen := make(map[overlay.NodeID]bool, len(nodes))
+	for _, id := range nodes {
+		if seen[id] || !c.Alive(id) {
+			continue
+		}
+		seen[id] = true
+		s.Nodes[id].PatchNeighbors(c.Neighbors(id))
+	}
+}

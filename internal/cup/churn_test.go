@@ -1,0 +1,143 @@
+package cup
+
+import (
+	"testing"
+
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+func churnParams() Params {
+	return Params{Nodes: 64, QueryRate: 3, QueryDuration: 900, Seed: 17}
+}
+
+func TestJoinNodeGrowsMembership(t *testing.T) {
+	s := NewSimulation(churnParams())
+	before := len(s.Nodes)
+	s.Sched.At(400, func() {
+		id := s.JoinNode()
+		if int(id) != before {
+			t.Errorf("joined id = %v, want %d", id, before)
+		}
+		if !s.NodeAlive(id) {
+			t.Error("joined node not alive")
+		}
+	})
+	res := s.Run()
+	if len(s.Nodes) != before+1 {
+		t.Fatalf("nodes = %d, want %d", len(s.Nodes), before+1)
+	}
+	if res.Counters.Queries == 0 {
+		t.Fatal("no queries ran")
+	}
+}
+
+func TestLeaveNodeHandsOverAuthority(t *testing.T) {
+	s := NewSimulation(churnParams())
+	k := s.Keys[0]
+	s.Sched.At(400, func() {
+		auth := s.Ov.Owner(k)
+		entriesBefore := s.Nodes[auth].LocalDirectory().Len()
+		if entriesBefore == 0 {
+			t.Error("authority had no local entries before leaving")
+		}
+		heir := s.LeaveNode(auth)
+		if s.NodeAlive(auth) {
+			t.Error("departed node still alive")
+		}
+		newAuth := s.Ov.Owner(k)
+		if newAuth == auth {
+			t.Error("ownership did not move")
+		}
+		// The heir holds the handed-over directory; if the key's point now
+		// falls in the heir's absorbed zone, the heir is the new authority.
+		if s.Nodes[heir].LocalDirectory().Len() < entriesBefore {
+			t.Errorf("heir holds %d entries, want ≥ %d",
+				s.Nodes[heir].LocalDirectory().Len(), entriesBefore)
+		}
+	})
+	res := s.Run()
+	if res.Counters.Misses() == 0 {
+		t.Fatal("suspiciously perfect run under churn")
+	}
+}
+
+func TestQueriesSurviveContinuousChurn(t *testing.T) {
+	s := NewSimulation(churnParams())
+	// Alternate joins and leaves every 50 s across the query window.
+	for i := 0; i < 12; i++ {
+		i := i
+		s.Sched.At(sim.Time(350+50*i), func() {
+			if i%2 == 0 {
+				s.JoinNode()
+			} else {
+				alive := s.aliveSample()
+				s.LeaveNode(alive)
+			}
+		})
+	}
+	res := s.Run()
+	if res.Counters.Queries < 100 {
+		t.Fatalf("queries = %d", res.Counters.Queries)
+	}
+	// Every served miss delivered an answer; the run completing without a
+	// routing panic is the §2.9 seamlessness claim.
+	if res.Counters.MissesServed == 0 {
+		t.Fatal("no misses served under churn")
+	}
+}
+
+// aliveSample picks a random alive, non-authority node for departure.
+func (s *Simulation) aliveSample() overlay.NodeID {
+	auth := s.Ov.Owner(s.Keys[0])
+	for {
+		id := overlay.NodeID(s.Rng.Pick(len(s.Nodes)))
+		if s.NodeAlive(id) && id != auth {
+			return id
+		}
+	}
+}
+
+func TestChurnRequiresCAN(t *testing.T) {
+	p := churnParams()
+	p.OverlayKind = "chord"
+	s := NewSimulation(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("JoinNode on chord did not panic")
+		}
+	}()
+	s.JoinNode()
+}
+
+func TestNodeAliveBounds(t *testing.T) {
+	s := NewSimulation(churnParams())
+	if s.NodeAlive(-1) || s.NodeAlive(overlay.NodeID(len(s.Nodes))) {
+		t.Fatal("out-of-range IDs reported alive")
+	}
+	if !s.NodeAlive(0) {
+		t.Fatal("node 0 not alive")
+	}
+}
+
+func TestPatchingClearsDepartedInterest(t *testing.T) {
+	s := NewSimulation(churnParams())
+	var victim overlay.NodeID
+	s.Sched.At(600, func() {
+		// Find a node with interest registered at some neighbor.
+		k := s.Keys[0]
+		auth := s.Ov.Owner(k)
+		interested := s.Nodes[auth].InterestedNeighbors(k)
+		if len(interested) == 0 {
+			return // workload produced no subscription at the authority yet
+		}
+		victim = interested[0]
+		s.LeaveNode(victim)
+		for _, m := range s.Nodes[auth].InterestedNeighbors(k) {
+			if m == victim {
+				t.Error("authority still lists departed neighbor as interested")
+			}
+		}
+	})
+	s.Run()
+}

@@ -1,0 +1,524 @@
+package cup
+
+import (
+	"fmt"
+
+	"cup/internal/cache"
+	"cup/internal/can"
+	"cup/internal/chord"
+	"cup/internal/metrics"
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+// Params configures one simulated run, mirroring the paper's simulator
+// inputs (§3.2): "the number of nodes in the overlay peer-to-peer network,
+// the number of keys owned per node, the distribution of queries for keys,
+// the distribution of query inter-arrival times, the number of replicas per
+// key, and the lifetime of replicas".
+type Params struct {
+	// Nodes is the overlay size (the paper sweeps n = 2^k, k = 3..12).
+	Nodes int
+	// OverlayKind selects the substrate: "can" (default) or "chord".
+	OverlayKind string
+	// Keys is the number of distinct keys queried (default 1; the paper's
+	// tables report per-key behavior).
+	Keys int
+	// ZipfSkew skews key popularity when Keys > 1; 0 = uniform.
+	ZipfSkew float64
+	// Replicas is the number of replicas per key (Table 3 sweeps this).
+	Replicas int
+	// Lifetime is the replica lifetime (the paper uses 300 s); replicas
+	// refresh their index entries exactly at expiration.
+	Lifetime sim.Duration
+	// HopDelay is the per-hop network latency (used when Latency is nil).
+	HopDelay sim.Duration
+	// Latency, when set, supplies heterogeneous per-link latencies (see
+	// internal/netmodel); it overrides HopDelay for message deliveries.
+	Latency LatencyModel
+	// QueryRate is the Poisson arrival rate λ of queries for the whole
+	// network, in queries per second.
+	QueryRate float64
+	// QueryStart/QueryDuration bound the querying window; the paper uses
+	// 3000 s of querying.
+	QueryStart    sim.Duration
+	QueryDuration sim.Duration
+	// Drain extends the run past the query window so in-flight traffic
+	// and tree teardown complete.
+	Drain sim.Duration
+	// Config is the per-node protocol configuration.
+	Config Config
+	// RefreshPolicy applies the §3.6 authority-side overhead reductions
+	// (refresh suppression and aggregation); zero value propagates every
+	// replica refresh as a separate update, as in Table 3.
+	RefreshPolicy RefreshPolicy
+	// PiggybackClearBits models §2.7's piggybacking: a clear-bit rides
+	// free on the next query or update sent to the same neighbor within
+	// PiggybackWindow, costing a hop only when sent standalone. The
+	// paper's own measurements keep this off ("This somewhat inflates the
+	// overhead measure").
+	PiggybackClearBits bool
+	// PiggybackWindow is how long a clear-bit waits for a carrier before
+	// traveling standalone (default 1 s).
+	PiggybackWindow sim.Duration
+	// Seed drives all randomness; identical Params give identical runs.
+	Seed int64
+	// Hooks run at fixed virtual times (capacity fault injection etc.).
+	Hooks []Hook
+}
+
+// Hook is a scheduled intervention into a running simulation.
+type Hook struct {
+	At sim.Time
+	Fn func(*Simulation)
+}
+
+// LatencyModel yields per-link one-way latencies (internal/netmodel
+// implements several; the interface is redeclared here to keep the
+// dependency arrow pointing outward).
+type LatencyModel interface {
+	Delay(from, to overlay.NodeID) sim.Duration
+}
+
+// delay returns the latency for one hop.
+func (s *Simulation) delay(from, to overlay.NodeID) sim.Duration {
+	if s.P.Latency != nil {
+		return s.P.Latency.Delay(from, to)
+	}
+	return s.P.HopDelay
+}
+
+// withDefaults fills unset fields with the paper's parameters.
+func (p Params) withDefaults() Params {
+	if p.Nodes == 0 {
+		p.Nodes = 1024
+	}
+	if p.OverlayKind == "" {
+		p.OverlayKind = "can"
+	}
+	if p.Keys == 0 {
+		p.Keys = 1
+	}
+	if p.Replicas == 0 {
+		p.Replicas = 1
+	}
+	if p.Lifetime == 0 {
+		p.Lifetime = 300
+	}
+	if p.HopDelay == 0 {
+		p.HopDelay = 0.1
+	}
+	if p.QueryRate == 0 {
+		p.QueryRate = 1
+	}
+	if p.QueryStart == 0 {
+		p.QueryStart = p.Lifetime
+	}
+	if p.QueryDuration == 0 {
+		p.QueryDuration = 3000
+	}
+	if p.Drain == 0 {
+		p.Drain = p.Lifetime
+	}
+	if p.Config.Policy == nil {
+		p.Config = Defaults()
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Params   Params
+	Counters metrics.Counters
+}
+
+// Simulation is a fully wired discrete-event CUP deployment. Construct
+// with NewSimulation, then Run (or drive the scheduler manually for
+// fault-injection experiments).
+type Simulation struct {
+	P      Params
+	Sched  *sim.Scheduler
+	Rng    *sim.Rand
+	Ov     overlay.Overlay
+	Router *OverlayRouter
+	Nodes  []*Node
+	Keys   []overlay.Key
+	C      metrics.Counters
+
+	zipf    *sim.Zipf
+	pending map[pendKey][]sim.Time
+	gates   map[overlay.NodeID]*refreshGate
+	held    map[linkKey][]*heldClearBit
+	endTime sim.Time
+}
+
+type linkKey struct {
+	from, to overlay.NodeID
+}
+
+// heldClearBit is a clear-bit waiting for a carrier message on its link.
+type heldClearBit struct {
+	key  overlay.Key
+	sent bool
+}
+
+type pendKey struct {
+	node overlay.NodeID
+	key  overlay.Key
+}
+
+// NewSimulation builds the overlay, nodes, replicas, workload, and hooks.
+func NewSimulation(p Params) *Simulation {
+	p = p.withDefaults()
+	s := &Simulation{
+		P:       p,
+		Sched:   sim.NewScheduler(),
+		Rng:     sim.NewRand(p.Seed),
+		pending: make(map[pendKey][]sim.Time),
+		gates:   make(map[overlay.NodeID]*refreshGate),
+		held:    make(map[linkKey][]*heldClearBit),
+	}
+	if s.P.PiggybackWindow == 0 {
+		s.P.PiggybackWindow = 1
+	}
+	switch p.OverlayKind {
+	case "can":
+		s.Ov = can.Build(p.Nodes, sim.NewRand(p.Seed+0x5eed))
+	case "chord":
+		s.Ov = chord.Build(p.Nodes)
+	default:
+		panic(fmt.Sprintf("cup: unknown overlay kind %q", p.OverlayKind))
+	}
+	s.Router = NewOverlayRouter(s.Ov)
+	s.Nodes = make([]*Node, p.Nodes)
+	for i := range s.Nodes {
+		s.Nodes[i] = NewNode(overlay.NodeID(i), p.Config, s.Router, s.Sched.Now)
+	}
+	s.Keys = make([]overlay.Key, p.Keys)
+	for i := range s.Keys {
+		s.Keys[i] = overlay.Key(fmt.Sprintf("key-%d", i))
+	}
+	if p.Keys > 1 && p.ZipfSkew > 0 {
+		s.zipf = s.Rng.NewZipf(p.ZipfSkew, p.Keys)
+	}
+	s.endTime = sim.Time(p.QueryStart + p.QueryDuration + p.Drain)
+
+	// Replica lifecycle: births staggered across one lifetime so refresh
+	// waves are not synchronized, then refresh-at-expiration loops.
+	for ki := range s.Keys {
+		for r := 0; r < p.Replicas; r++ {
+			birth := sim.Time(sim.Duration(s.Rng.Float64()) * p.Lifetime)
+			ki, r := ki, r
+			s.Sched.At(birth, func() { s.AddReplica(s.Keys[ki], r) })
+		}
+	}
+
+	// Query workload.
+	qStart := sim.Time(p.QueryStart)
+	qEnd := qStart.Add(p.QueryDuration)
+	sim.PoissonArrivals(s.Sched, s.Rng, p.QueryRate, qStart, qEnd, s.postQuery)
+
+	for _, h := range p.Hooks {
+		h := h
+		s.Sched.At(h.At, func() { h.Fn(s) })
+	}
+	return s
+}
+
+// Authority returns the node owning k.
+func (s *Simulation) Authority(k overlay.Key) *Node {
+	return s.Nodes[s.Ov.Owner(k)]
+}
+
+// AddReplica registers replica r for key k at its authority and starts its
+// refresh-at-expiration loop. The index entry's birth is announced as an
+// Append update (§2.4).
+func (s *Simulation) AddReplica(k overlay.Key, r int) {
+	now := s.Sched.Now()
+	auth := s.Authority(k)
+	e := cache.Entry{
+		Key:     k,
+		Replica: r,
+		Addr:    fmt.Sprintf("10.%d.%d.%d", r/65536, (r/256)%256, r%256),
+		Expires: now.Add(s.P.Lifetime),
+	}
+	auth.InstallLocal(e)
+	u := Update{Key: k, Type: Append, Entries: []cache.Entry{e}, Replica: r,
+		Expires: e.Expires, Lifetime: s.P.Lifetime}
+	s.C.UpdatesOriginated++
+	s.dispatch(auth.ID(), auth.OriginateUpdate(u))
+	s.scheduleRefresh(k, r, e.Expires)
+}
+
+// scheduleRefresh arms the next refresh for (k, r) exactly at expiration,
+// per the paper: "refreshes of index entries occur at expiration".
+func (s *Simulation) scheduleRefresh(k overlay.Key, r int, at sim.Time) {
+	if at >= s.endTime {
+		return
+	}
+	s.Sched.At(at, func() {
+		auth := s.Authority(k)
+		if _, ok := auth.LocalDirectory().Get(k, r); !ok {
+			return // replica was deleted; stop refreshing
+		}
+		now := s.Sched.Now()
+		e := cache.Entry{
+			Key:     k,
+			Replica: r,
+			Addr:    fmt.Sprintf("10.%d.%d.%d", r/65536, (r/256)%256, r%256),
+			Expires: now.Add(s.P.Lifetime),
+		}
+		auth.InstallLocal(e)
+		s.emitRefresh(auth, k, e)
+		s.scheduleRefresh(k, r, e.Expires)
+	})
+}
+
+// emitRefresh routes a replica refresh through the authority's §3.6
+// refresh gate (suppression / aggregation) before origination. With no
+// RefreshPolicy configured, every refresh propagates as its own update.
+func (s *Simulation) emitRefresh(auth *Node, k overlay.Key, e cache.Entry) {
+	if !s.P.RefreshPolicy.enabled() {
+		s.originateRefresh(auth, k, []cache.Entry{e})
+		return
+	}
+	g := s.gates[auth.ID()]
+	if g == nil {
+		g = newRefreshGate(s.P.RefreshPolicy)
+		s.gates[auth.ID()] = g
+	}
+	release, flushIn := g.Offer(k, e, s.P.Replicas)
+	if flushIn > 0 {
+		s.Sched.After(flushIn, func() {
+			if batch := g.Flush(k); len(batch) > 0 {
+				s.originateRefresh(auth, k, batch)
+			}
+		})
+	}
+	if release != nil {
+		s.originateRefresh(auth, k, release)
+	}
+}
+
+// originateRefresh propagates one (possibly batched) refresh update.
+func (s *Simulation) originateRefresh(auth *Node, k overlay.Key, entries []cache.Entry) {
+	minReplica := entries[0].Replica
+	var expires sim.Time
+	for _, e := range entries {
+		if e.Replica < minReplica {
+			minReplica = e.Replica
+		}
+		if e.Expires > expires {
+			expires = e.Expires
+		}
+	}
+	u := Update{Key: k, Type: Refresh, Entries: entries, Replica: minReplica,
+		Expires: expires, Lifetime: s.P.Lifetime}
+	s.C.UpdatesOriginated++
+	s.dispatch(auth.ID(), auth.OriginateUpdate(u))
+}
+
+// RemoveReplica deletes replica r of key k: the authority removes the
+// index entry and propagates a Delete update (§2.4).
+func (s *Simulation) RemoveReplica(k overlay.Key, r int) {
+	auth := s.Authority(k)
+	auth.RemoveLocal(k, r)
+	u := Update{
+		Key: k, Type: Delete, Replica: r,
+		Expires: s.Sched.Now().Add(s.P.Lifetime),
+	}
+	s.C.UpdatesOriginated++
+	s.dispatch(auth.ID(), auth.OriginateUpdate(u))
+}
+
+// postQuery posts one local query at a random node for a workload key.
+func (s *Simulation) postQuery() {
+	nid := overlay.NodeID(s.Rng.Pick(len(s.Nodes)))
+	for !s.NodeAlive(nid) {
+		nid = overlay.NodeID(s.Rng.Pick(len(s.Nodes)))
+	}
+	k := s.pickKey()
+	s.PostQueryAt(nid, k)
+}
+
+// PostQueryAt posts a local client query for k at node nid and accounts
+// for hit/miss classification.
+func (s *Simulation) PostQueryAt(nid overlay.NodeID, k overlay.Key) {
+	node := s.Nodes[nid]
+	s.C.Queries++
+	if node.HasFreshAnswer(k) {
+		s.C.Hits++
+	} else {
+		if node.PendingFirstUpdate(k) {
+			s.C.Coalesced++
+		}
+		if node.EverHeld(k) {
+			s.C.FreshnessMisses++
+		} else {
+			s.C.FirstTimeMisses++
+		}
+		pk := pendKey{nid, k}
+		s.pending[pk] = append(s.pending[pk], s.Sched.Now())
+	}
+	s.dispatch(nid, node.HandleQuery(LocalClient, k, 0))
+}
+
+func (s *Simulation) pickKey() overlay.Key {
+	switch {
+	case len(s.Keys) == 1:
+		return s.Keys[0]
+	case s.zipf != nil:
+		return s.Keys[s.zipf.Draw()]
+	default:
+		return s.Keys[s.Rng.Pick(len(s.Keys))]
+	}
+}
+
+// dispatch executes protocol actions emitted by node `from`, scheduling
+// message deliveries one hop (HopDelay) later and accounting hop costs per
+// the paper's cost model (§3.3): query hops and response hops are miss
+// cost; proactive update hops and clear-bit hops are overhead.
+func (s *Simulation) dispatch(from overlay.NodeID, acts []Action) {
+	for _, a := range acts {
+		a := a
+		from := from
+		switch a.Kind {
+		case ActSendQuery:
+			s.flushHeldClearBits(from, a.To)
+			s.Sched.After(s.delay(from, a.To), func() {
+				if !s.NodeAlive(a.To) {
+					return // departed mid-flight; the client re-queries
+				}
+				s.C.QueryHops++
+				s.dispatch(a.To, s.Nodes[a.To].HandleQuery(from, a.Key, a.QueryID))
+			})
+		case ActSendUpdate:
+			s.flushHeldClearBits(from, a.To)
+			s.Sched.After(s.delay(from, a.To), func() {
+				if !s.NodeAlive(a.To) {
+					return
+				}
+				// Classify by the receiver's state at delivery: an update
+				// arriving at a node awaiting a response — or retracing a
+				// specific query (standard caching) — is miss cost;
+				// anything else is propagation overhead.
+				if a.Update.QueryID != 0 || s.Nodes[a.To].PendingFirstUpdate(a.Key) {
+					s.C.ResponseHops++
+				} else {
+					s.C.UpdateHops++
+				}
+				s.dispatch(a.To, s.Nodes[a.To].HandleUpdate(from, a.Update))
+			})
+		case ActSendClearBit:
+			if s.P.PiggybackClearBits {
+				s.holdClearBit(from, a.To, a.Key)
+				break
+			}
+			s.Sched.After(s.delay(from, a.To), func() {
+				if !s.NodeAlive(a.To) {
+					return
+				}
+				s.C.ClearBitHops++
+				s.dispatch(a.To, s.Nodes[a.To].HandleClearBit(from, a.Key))
+			})
+		case ActDeliverLocal:
+			s.deliverLocal(from, a.Key)
+		default:
+			panic(fmt.Sprintf("cup: unknown action kind %d", a.Kind))
+		}
+	}
+}
+
+// holdClearBit parks a clear-bit on its link waiting for a carrier (§2.7
+// piggybacking); if no query or update departs on the link within the
+// piggyback window, the clear-bit travels standalone and costs a hop.
+func (s *Simulation) holdClearBit(from, to overlay.NodeID, k overlay.Key) {
+	cb := &heldClearBit{key: k}
+	link := linkKey{from, to}
+	s.held[link] = append(s.held[link], cb)
+	s.Sched.After(s.P.PiggybackWindow, func() {
+		if cb.sent {
+			return
+		}
+		cb.sent = true
+		s.Sched.After(s.delay(from, to), func() {
+			s.C.ClearBitHops++
+			s.dispatch(to, s.Nodes[to].HandleClearBit(from, k))
+		})
+	})
+}
+
+// flushHeldClearBits lets parked clear-bits ride a departing message on
+// the same link: they arrive with the carrier at zero hop cost.
+func (s *Simulation) flushHeldClearBits(from, to overlay.NodeID) {
+	link := linkKey{from, to}
+	bits := s.held[link]
+	if len(bits) == 0 {
+		return
+	}
+	delete(s.held, link)
+	for _, cb := range bits {
+		if cb.sent {
+			continue
+		}
+		cb.sent = true
+		k := cb.key
+		s.C.PiggybackedClearBits++
+		s.Sched.After(s.delay(from, to), func() {
+			s.dispatch(to, s.Nodes[to].HandleClearBit(from, k))
+		})
+	}
+}
+
+// deliverLocal resolves the open local client connections at node nid.
+func (s *Simulation) deliverLocal(nid overlay.NodeID, k overlay.Key) {
+	pk := pendKey{nid, k}
+	now := s.Sched.Now()
+	for _, t0 := range s.pending[pk] {
+		s.C.MissLatencyTotal += float64(now.Sub(t0))
+		s.C.MissesServed++
+	}
+	delete(s.pending, pk)
+}
+
+// SetCapacityFraction applies a reduced outgoing update capacity to a set
+// of nodes (fig 5/6 fault injection).
+func (s *Simulation) SetCapacityFraction(nodes []overlay.NodeID, c float64) {
+	for _, n := range nodes {
+		s.Nodes[n].SetCapacity(c)
+	}
+}
+
+// RandomNodeSample draws k distinct node IDs.
+func (s *Simulation) RandomNodeSample(k int) []overlay.NodeID {
+	perm := s.Rng.Perm(len(s.Nodes))
+	out := make([]overlay.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = overlay.NodeID(perm[i])
+	}
+	return out
+}
+
+// Run executes the whole schedule and returns the aggregated result.
+func (s *Simulation) Run() *Result {
+	if err := s.Sched.RunUntil(s.endTime); err != nil {
+		panic(fmt.Sprintf("cup: simulation aborted: %v", err))
+	}
+	// Updates still awaiting their justification window at the end of the
+	// run are censored observations, not failures; they stay unclassified
+	// (callers wanting strict accounting may SettleJustification first).
+	for _, n := range s.Nodes {
+		st := n.Stats()
+		s.C.JustifiedUpdates += st.Justified
+		s.C.UnjustifiedUpdates += st.Unjustified
+		s.C.ExpiredUpdates += st.Expired
+		s.C.UpdatesDropped += st.Dropped
+	}
+	return &Result{Params: s.P, Counters: s.C}
+}
+
+// Run builds and runs a simulation in one call.
+func Run(p Params) *Result { return NewSimulation(p).Run() }

@@ -1,0 +1,221 @@
+package cup
+
+import (
+	"testing"
+
+	"cup/internal/overlay"
+)
+
+// smallParams is a fast configuration for integration tests.
+func smallParams() Params {
+	return Params{
+		Nodes:         64,
+		QueryRate:     2,
+		QueryDuration: 600,
+		Seed:          42,
+	}
+}
+
+func TestSimulationRunsAndConserves(t *testing.T) {
+	res := Run(smallParams())
+	c := &res.Counters
+	if c.Queries == 0 {
+		t.Fatal("no queries posted")
+	}
+	if c.Hits+c.Misses() != c.Queries {
+		t.Fatalf("hits %d + misses %d != queries %d", c.Hits, c.Misses(), c.Queries)
+	}
+	if c.FirstTimeMisses+c.FreshnessMisses != c.Misses() {
+		t.Fatalf("miss classification does not add up: %d + %d != %d",
+			c.FirstTimeMisses, c.FreshnessMisses, c.Misses())
+	}
+	if c.TotalCost() != c.MissCost()+c.Overhead() {
+		t.Fatal("total cost identity broken")
+	}
+	if c.MissesServed > c.Misses() {
+		t.Fatalf("served %d misses but only %d occurred", c.MissesServed, c.Misses())
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := Run(smallParams()).Counters
+	b := Run(smallParams()).Counters
+	if a != b {
+		t.Fatalf("identical params diverged:\n%v\n%v", a.String(), b.String())
+	}
+}
+
+func TestSeedChangesRun(t *testing.T) {
+	p := smallParams()
+	a := Run(p).Counters
+	p.Seed = 43
+	b := Run(p).Counters
+	if a == b {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestStandardCachingHasZeroOverhead(t *testing.T) {
+	p := smallParams()
+	p.Config = Standard()
+	res := Run(p)
+	if res.Counters.Overhead() != 0 {
+		t.Fatalf("standard caching overhead = %d, want 0", res.Counters.Overhead())
+	}
+	if res.Counters.TotalCost() != res.Counters.MissCost() {
+		t.Fatal("standard caching total != miss cost")
+	}
+}
+
+func TestCUPBeatsStandardCachingOnMissCost(t *testing.T) {
+	p := smallParams()
+	p.Config = Standard()
+	std := Run(p)
+	p.Config = Defaults()
+	cupRes := Run(p)
+	if cupRes.Counters.MissCost() >= std.Counters.MissCost() {
+		t.Fatalf("CUP miss cost %d not below standard %d",
+			cupRes.Counters.MissCost(), std.Counters.MissCost())
+	}
+}
+
+func TestCUPOverheadIsBounded(t *testing.T) {
+	res := Run(smallParams())
+	// Sanity: overhead exists but does not dwarf the whole run.
+	if res.Counters.Overhead() == 0 {
+		t.Fatal("CUP run propagated nothing")
+	}
+	if res.Counters.Overhead() > 100*res.Counters.MissCost() {
+		t.Fatalf("overhead %d wildly exceeds miss cost %d",
+			res.Counters.Overhead(), res.Counters.MissCost())
+	}
+}
+
+func TestChordOverlayWorks(t *testing.T) {
+	p := smallParams()
+	p.OverlayKind = "chord"
+	res := Run(p)
+	if res.Counters.Queries == 0 || res.Counters.Hits == 0 {
+		t.Fatalf("chord run degenerate: %v", res.Counters.String())
+	}
+}
+
+func TestUnknownOverlayPanics(t *testing.T) {
+	p := smallParams()
+	p.OverlayKind = "hypercube"
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown overlay did not panic")
+		}
+	}()
+	NewSimulation(p)
+}
+
+func TestMultipleKeysAndZipf(t *testing.T) {
+	p := smallParams()
+	p.Keys = 8
+	p.ZipfSkew = 1.2
+	res := Run(p)
+	if res.Counters.Queries == 0 {
+		t.Fatal("no queries")
+	}
+}
+
+func TestMultipleReplicas(t *testing.T) {
+	p := smallParams()
+	p.Replicas = 5
+	res := Run(p)
+	if res.Counters.UpdatesOriginated == 0 {
+		t.Fatal("no updates originated")
+	}
+	// 5 replicas refresh ~3x as often as the query window is long; there
+	// must be strictly more origination than with one replica.
+	p1 := smallParams()
+	one := Run(p1)
+	if res.Counters.UpdatesOriginated <= one.Counters.UpdatesOriginated {
+		t.Fatalf("5 replicas originated %d updates, 1 replica %d",
+			res.Counters.UpdatesOriginated, one.Counters.UpdatesOriginated)
+	}
+}
+
+func TestCapacityHookReducesOverhead(t *testing.T) {
+	full := Run(smallParams())
+	p := smallParams()
+	p.Hooks = []Hook{{At: 1, Fn: func(s *Simulation) {
+		all := make([]overlay.NodeID, len(s.Nodes))
+		for i := range all {
+			all[i] = overlay.NodeID(i)
+		}
+		s.SetCapacityFraction(all, 0)
+	}}}
+	res := Run(p)
+	if res.Counters.UpdateHops >= full.Counters.UpdateHops {
+		t.Fatalf("zero capacity did not reduce update hops: %d vs %d",
+			res.Counters.UpdateHops, full.Counters.UpdateHops)
+	}
+	// With all capacity gone, CUP degrades toward standard caching but
+	// must still answer every query (responses are exempt).
+	if res.Counters.MissesServed == 0 {
+		t.Fatal("no misses served under zero capacity")
+	}
+}
+
+func TestRemoveReplicaStopsRefreshes(t *testing.T) {
+	p := smallParams()
+	p.Hooks = []Hook{{At: 400, Fn: func(s *Simulation) {
+		s.RemoveReplica(s.Keys[0], 0)
+	}}}
+	res := Run(p)
+	// After deletion at t=400 no refreshes for the single replica should
+	// originate; with one key and one replica the count is bounded by the
+	// refreshes before t=400 plus birth and the delete itself.
+	if res.Counters.UpdatesOriginated > 4 {
+		t.Fatalf("refreshes continued after delete: %d originated",
+			res.Counters.UpdatesOriginated)
+	}
+}
+
+func TestPostQueryAtSpecificNode(t *testing.T) {
+	p := smallParams()
+	p.QueryRate = 0.0001 // effectively no background queries
+	s := NewSimulation(p)
+	s.Sched.At(400, func() { s.PostQueryAt(7, s.Keys[0]) })
+	res := s.Run()
+	if res.Counters.Queries == 0 {
+		t.Fatal("posted query not counted")
+	}
+}
+
+func TestJustifiedFractionGrowsWithQueryRate(t *testing.T) {
+	lo := smallParams()
+	lo.QueryRate = 0.05
+	hi := smallParams()
+	hi.QueryRate = 20
+	fLo := Run(lo).Counters.JustifiedFraction()
+	fHi := Run(hi).Counters.JustifiedFraction()
+	if fHi <= fLo {
+		t.Fatalf("justified fraction did not grow with rate: %.3f vs %.3f", fLo, fHi)
+	}
+}
+
+func TestRandomNodeSampleDistinct(t *testing.T) {
+	s := NewSimulation(smallParams())
+	got := s.RandomNodeSample(10)
+	seen := map[overlay.NodeID]bool{}
+	for _, n := range got {
+		if seen[n] {
+			t.Fatalf("duplicate node %v in sample", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestDefaultsFilledIn(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Nodes != 1024 || p.Lifetime != 300 || p.QueryDuration != 3000 {
+		t.Fatalf("defaults wrong: %+v", p)
+	}
+	if p.Config.Policy == nil {
+		t.Fatal("default policy missing")
+	}
+}

@@ -1,0 +1,126 @@
+package cup
+
+import (
+	"fmt"
+	"testing"
+
+	"cup/internal/policy"
+)
+
+// TestInvariantsAcrossConfigMatrix runs the conservation and sanity
+// invariants that must hold for *every* protocol configuration, across a
+// grid of modes, policies, overlays, replicas, rates, and authority-side
+// options. Each cell is a full simulation; failures name the cell.
+func TestInvariantsAcrossConfigMatrix(t *testing.T) {
+	type cell struct {
+		name string
+		p    Params
+	}
+	var cells []cell
+	add := func(name string, mutate func(*Params)) {
+		p := Params{Nodes: 48, QueryRate: 3, QueryDuration: 450, Seed: 31}
+		mutate(&p)
+		cells = append(cells, cell{name, p})
+	}
+
+	add("standard", func(p *Params) { p.Config = Standard() })
+	add("cup-second-chance", func(p *Params) { p.Config = Defaults() })
+	for _, pol := range []policy.Policy{
+		policy.AlwaysKeep(), policy.NeverKeep(),
+		policy.Linear(0.1), policy.Logarithmic(0.25), policy.WindowedIdle(3),
+	} {
+		pol := pol
+		add("cup-"+pol.Name(), func(p *Params) {
+			p.Config = Defaults()
+			p.Config.Policy = pol
+		})
+	}
+	for _, lvl := range []int{0, 3, 9} {
+		lvl := lvl
+		add(fmt.Sprintf("pushlevel-%d", lvl), func(p *Params) {
+			p.Config = Defaults()
+			p.Config.Policy = policy.AlwaysKeep()
+			p.Config.PushLevel = lvl
+		})
+	}
+	add("chord", func(p *Params) { p.OverlayKind = "chord"; p.Config = Defaults() })
+	add("replicas-7-naive", func(p *Params) {
+		p.Replicas = 7
+		p.Config = Defaults()
+		p.Config.ReplicaIndependentCutoff = false
+	})
+	add("replicas-7-aggregated", func(p *Params) {
+		p.Replicas = 7
+		p.RefreshPolicy = RefreshPolicy{AggregateWindow: 20}
+	})
+	add("replicas-7-suppressed", func(p *Params) {
+		p.Replicas = 7
+		p.RefreshPolicy = RefreshPolicy{SuppressFraction: 0.3}
+	})
+	add("piggyback", func(p *Params) { p.PiggybackClearBits = true; p.PiggybackWindow = 30 })
+	add("zipf-keys", func(p *Params) { p.Keys = 6; p.ZipfSkew = 1.3 })
+	add("slow-links", func(p *Params) { p.HopDelay = 0.8 })
+
+	for _, c := range cells {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			res := Run(c.p)
+			cc := &res.Counters
+
+			if cc.Queries == 0 {
+				t.Fatal("no queries posted")
+			}
+			if cc.Hits+cc.Misses() != cc.Queries {
+				t.Errorf("hit/miss split broken: %d + %d != %d",
+					cc.Hits, cc.Misses(), cc.Queries)
+			}
+			if cc.FirstTimeMisses+cc.FreshnessMisses != cc.Misses() {
+				t.Errorf("miss classification broken: %d + %d != %d",
+					cc.FirstTimeMisses, cc.FreshnessMisses, cc.Misses())
+			}
+			if cc.TotalCost() != cc.MissCost()+cc.Overhead() {
+				t.Error("total cost identity broken")
+			}
+			if cc.MissesServed > cc.Misses() {
+				t.Errorf("served %d > occurred %d", cc.MissesServed, cc.Misses())
+			}
+			if cc.Coalesced > cc.Misses() {
+				t.Errorf("coalesced %d > misses %d", cc.Coalesced, cc.Misses())
+			}
+			if c.p.Config.Mode == ModeStandard && cc.Overhead() != 0 {
+				t.Errorf("standard caching produced overhead %d", cc.Overhead())
+			}
+			// Determinism: the same cell must reproduce exactly.
+			again := Run(c.p)
+			if again.Counters != res.Counters {
+				t.Error("run not deterministic")
+			}
+		})
+	}
+}
+
+// TestMissLatencyBoundedByDiameter checks that no served miss can take
+// longer than a full round trip across the overlay plus slack.
+func TestMissLatencyBoundedByDiameter(t *testing.T) {
+	p := Params{Nodes: 64, QueryRate: 5, QueryDuration: 600, Seed: 8}
+	res := Run(p)
+	// 64-node CAN diameter ≲ 16; round trip 32 hops at 0.1 s/hop = 3.2 s.
+	if lat := res.Counters.MissLatencySeconds(); lat > 3.2 {
+		t.Fatalf("average miss latency %.2fs exceeds diameter bound", lat)
+	}
+}
+
+// TestColdStartQueriesBeforeAnyReplica verifies queries posted before any
+// replica registers are answered (with an empty set) rather than wedged.
+func TestColdStartQueriesBeforeAnyReplica(t *testing.T) {
+	p := Params{Nodes: 32, QueryRate: 2, QueryDuration: 300, Seed: 5}
+	s := NewSimulation(p)
+	// Post a query at t=10, long before QueryStart=300 and possibly
+	// before the replica's staggered birth.
+	s.Sched.At(10, func() { s.PostQueryAt(3, s.Keys[0]) })
+	res := s.Run()
+	if res.Counters.Queries == 0 {
+		t.Fatal("query not posted")
+	}
+}

@@ -1,0 +1,668 @@
+package cup
+
+import (
+	"fmt"
+	"sort"
+
+	"cup/internal/cache"
+	"cup/internal/overlay"
+	"cup/internal/policy"
+	"cup/internal/sim"
+)
+
+// LocalClient is the sentinel "neighbor" for queries posted by clients
+// attached directly to a node.
+const LocalClient = overlay.NoNode
+
+// keyState is the per-key bookkeeping of §2.3: the Pending-First-Update
+// flag, the interest bit vector, and the popularity measure.
+type keyState struct {
+	// pfu is the Pending-First-Update flag: set while a query for the key
+	// is in flight upstream; coalesces further queries.
+	pfu bool
+	// pendingLocal counts open local client connections awaiting an answer.
+	pendingLocal int
+	// pendingChildren are neighbors whose forwarded query awaits our
+	// response (transient, distinct from long-term interest).
+	pendingChildren map[overlay.NodeID]struct{}
+	// interest is the interest bit vector: neighbors to push updates to.
+	interest map[overlay.NodeID]struct{}
+	// routeBack maps outstanding per-query IDs to the neighbor (or
+	// LocalClient) the response must retrace to — standard caching's
+	// open connections. Unused in CUP mode, where coalescing replaces it.
+	routeBack map[uint64]overlay.NodeID
+	// queries counts queries received since the last popularity reset —
+	// the paper's popularity measure.
+	queries int
+	// watchReplica designates the replica whose updates trigger cut-off
+	// decisions under replica-independent cut-off; -1 until first seen.
+	watchReplica int
+	// inst is this key's cut-off policy state.
+	inst policy.Instance
+	// dist is the node's last-observed hop distance from the authority.
+	dist int
+	// everHeld marks that entries for the key existed at some point, to
+	// classify freshness vs first-time misses.
+	everHeld bool
+	// justifyPending/justifyDeadline/justifySeq track the most recent
+	// proactive update applied here, for §3.1 justified-update accounting.
+	justifyPending  bool
+	justifyDeadline sim.Time
+}
+
+// NodeStats surfaces protocol-level observations the transport layer
+// aggregates into metrics.Counters.
+type NodeStats struct {
+	Justified   uint64 // proactive updates later matched by a query in time
+	Unjustified uint64 // proactive updates never matched
+	Expired     uint64 // updates dropped on arrival (case 3)
+	Dropped     uint64 // proactive pushes suppressed by capacity limits
+}
+
+// Node is the CUP protocol state machine for one peer. It is not safe for
+// concurrent use; the live runtime serializes access per node.
+type Node struct {
+	id     overlay.NodeID
+	cfg    Config
+	router Router
+	now    func() sim.Time
+
+	// store caches index entries learned from queries and updates (§2.1
+	// "cached index entries").
+	store *cache.Store
+	// local is the authority-owned local index directory, disjoint from
+	// store by construction (authorities never cache their own keys).
+	local *cache.Store
+
+	keys   map[overlay.Key]*keyState
+	stats  NodeStats
+	qidSeq uint64
+
+	// capacityFraction < 0 means full outgoing capacity; otherwise the
+	// node proactively forwards only this fraction of the updates it
+	// receives (§3.7's reduced capacity c). Responses always flow.
+	capacityFraction float64
+	capacityCredit   float64
+}
+
+// NewNode constructs a node. now supplies virtual (or real) time; router
+// resolves upstream next hops.
+func NewNode(id overlay.NodeID, cfg Config, router Router, now func() sim.Time) *Node {
+	if cfg.Policy == nil {
+		panic("cup: Config.Policy must be set (use Defaults())")
+	}
+	if router == nil || now == nil {
+		panic("cup: router and clock are required")
+	}
+	return &Node{
+		id:               id,
+		cfg:              cfg,
+		router:           router,
+		now:              now,
+		store:            cache.NewStore(),
+		local:            cache.NewStore(),
+		keys:             make(map[overlay.Key]*keyState),
+		capacityFraction: -1,
+	}
+}
+
+// ID returns the node's overlay identifier.
+func (n *Node) ID() overlay.NodeID { return n.id }
+
+// Stats returns the node's protocol observations.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// SetCapacity sets the outgoing update capacity as a fraction of received
+// updates (0 ≤ c ≤ 1); negative restores full capacity.
+func (n *Node) SetCapacity(c float64) {
+	n.capacityFraction = c
+	if c >= 0 && n.capacityCredit > 1 {
+		n.capacityCredit = 1
+	}
+}
+
+// Capacity returns the current capacity fraction (negative = unlimited).
+func (n *Node) Capacity() float64 { return n.capacityFraction }
+
+// state returns (allocating if needed) the bookkeeping for k.
+func (n *Node) state(k overlay.Key) *keyState {
+	ks := n.keys[k]
+	if ks == nil {
+		ks = &keyState{
+			pendingChildren: make(map[overlay.NodeID]struct{}),
+			interest:        make(map[overlay.NodeID]struct{}),
+			watchReplica:    -1,
+			inst:            n.cfg.Policy.New(),
+			dist:            -1,
+		}
+		n.keys[k] = ks
+	}
+	return ks
+}
+
+// InstallLocal installs an index entry into the local index directory;
+// used by the transport when a replica registers with its authority.
+func (n *Node) InstallLocal(e cache.Entry) { n.local.Put(e) }
+
+// RemoveLocal deletes a replica's entry from the local directory.
+func (n *Node) RemoveLocal(k overlay.Key, replica int) { n.local.Remove(k, replica) }
+
+// LocalDirectory exposes the authority-owned entries (read-only use).
+func (n *Node) LocalDirectory() *cache.Store { return n.local }
+
+// CacheStore exposes the cached index entries (read-only use).
+func (n *Node) CacheStore() *cache.Store { return n.store }
+
+// IsAuthority reports whether the node owns k's index entries. A node is
+// an authority exactly when routing terminates at it.
+func (n *Node) IsAuthority(k overlay.Key) bool {
+	return n.router.NextHopTowardOwner(n.id, k) == n.id
+}
+
+// HasFreshAnswer reports whether a local query for k would hit instantly.
+func (n *Node) HasFreshAnswer(k overlay.Key) bool {
+	if n.IsAuthority(k) {
+		return true
+	}
+	return n.store.HasFresh(k, n.now())
+}
+
+// PendingFirstUpdate reports the PFU flag for k.
+func (n *Node) PendingFirstUpdate(k overlay.Key) bool {
+	ks := n.keys[k]
+	return ks != nil && ks.pfu
+}
+
+// EverHeld reports whether the node ever cached entries for k (used to
+// classify freshness vs first-time misses).
+func (n *Node) EverHeld(k overlay.Key) bool {
+	ks := n.keys[k]
+	return ks != nil && ks.everHeld
+}
+
+// Popularity returns the queries-since-last-update measure for k.
+func (n *Node) Popularity(k overlay.Key) int {
+	ks := n.keys[k]
+	if ks == nil {
+		return 0
+	}
+	return ks.queries
+}
+
+// InterestedNeighbors returns the neighbors whose interest bit for k is
+// set, sorted for determinism.
+func (n *Node) InterestedNeighbors(k overlay.Key) []overlay.NodeID {
+	ks := n.keys[k]
+	if ks == nil {
+		return nil
+	}
+	out := make([]overlay.NodeID, 0, len(ks.interest))
+	for m := range ks.interest {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Distance returns the node's last observed distance from k's authority
+// (-1 when unknown).
+func (n *Node) Distance(k overlay.Key) int {
+	if n.IsAuthority(k) {
+		return 0
+	}
+	ks := n.keys[k]
+	if ks == nil {
+		return -1
+	}
+	return ks.dist
+}
+
+// recordQuery bumps the popularity measure and settles justified-update
+// accounting: a pending proactive update is justified by the first query
+// arriving before its deadline (§3.1).
+func (n *Node) recordQuery(ks *keyState) {
+	ks.queries++
+	if ks.justifyPending {
+		if n.now() < ks.justifyDeadline {
+			n.stats.Justified++
+		} else {
+			n.stats.Unjustified++
+		}
+		ks.justifyPending = false
+	}
+}
+
+// HandleQuery processes a search query for k arriving from a neighbor, or
+// from a local client when from == LocalClient. It implements §2.5. qid is
+// the standard-caching per-query token (zero for locally posted queries
+// and for everything in CUP mode, where coalescing replaces it).
+func (n *Node) HandleQuery(from overlay.NodeID, k overlay.Key, qid uint64) []Action {
+	ks := n.state(k)
+	n.recordQuery(ks)
+	now := n.now()
+
+	// Interest registration: CUP nodes remember which neighbors want
+	// updates for k, in every case of §2.5.
+	if from != LocalClient && n.cfg.Mode == ModeCUP {
+		ks.interest[from] = struct{}{}
+	}
+
+	// Case 1a: we are the authority — answer from the local directory.
+	if n.IsAuthority(k) {
+		return n.answer(ks, from, k, n.local.Fresh(k, now), qid)
+	}
+
+	// Case 1b: fresh entries cached — answer from cache. Under standard
+	// caching only the node's own clients are served from its cache
+	// (client-side TTL caching); intermediate nodes never answer others'
+	// queries — maintaining answer-capable intermediate caches is
+	// precisely CUP's contribution.
+	if n.cfg.Mode == ModeCUP || from == LocalClient {
+		if fresh := n.store.Fresh(k, now); fresh != nil {
+			return n.answer(ks, from, k, fresh, qid)
+		}
+	}
+
+	next := n.router.NextHopTowardOwner(n.id, k)
+	if next == n.id {
+		panic(fmt.Sprintf("cup: %v authority reached non-authority path for %q", n.id, k))
+	}
+
+	// Standard caching: no coalescing — every query travels individually
+	// and keeps a per-query "open connection" for its response (§4's
+	// open-connection problem, which CUP's query channel eliminates).
+	if n.cfg.Mode == ModeStandard {
+		if qid == 0 {
+			n.qidSeq++
+			qid = uint64(uint32(n.id+1))<<32 | n.qidSeq
+		}
+		if ks.routeBack == nil {
+			ks.routeBack = make(map[uint64]overlay.NodeID)
+		}
+		ks.routeBack[qid] = from
+		return []Action{{Kind: ActSendQuery, To: next, Key: k, QueryID: qid}}
+	}
+
+	// Cases 2 and 3 (CUP): no fresh answer; register the asker, coalesce.
+	if from == LocalClient {
+		ks.pendingLocal++
+	} else {
+		ks.pendingChildren[from] = struct{}{}
+	}
+	if ks.pfu {
+		return nil // coalesced into the in-flight query
+	}
+	ks.pfu = true
+	return []Action{{Kind: ActSendQuery, To: next, Key: k}}
+}
+
+// answer builds the first-time-update response for a fresh hit. The
+// response carries our distance+1 so the receiver learns its depth.
+func (n *Node) answer(ks *keyState, from overlay.NodeID, k overlay.Key, entries []cache.Entry, qid uint64) []Action {
+	if from == LocalClient {
+		return []Action{{Kind: ActDeliverLocal, Key: k, Entries: entries}}
+	}
+	depth := ks.dist + 1
+	if n.IsAuthority(k) {
+		depth = 1
+	}
+	u := Update{
+		Key:     k,
+		Type:    FirstTime,
+		Entries: entries,
+		Replica: -1,
+		Depth:   depth,
+		Expires: maxExpiry(entries),
+		QueryID: qid,
+	}
+	return []Action{{Kind: ActSendUpdate, To: from, Key: k, Update: u}}
+}
+
+// handleDirectResponse retraces a standard-caching response along its
+// query's recorded path; the issuing node caches the answer (client-side
+// TTL caching with remaining lifetime), intermediates pass it through.
+func (n *Node) handleDirectResponse(u Update) []Action {
+	ks := n.state(u.Key)
+	dest, ok := ks.routeBack[u.QueryID]
+	if !ok {
+		return nil // duplicate or forgotten query token
+	}
+	delete(ks.routeBack, u.QueryID)
+	ks.dist = u.Depth
+	fresh := freshOf(u.Entries, n.now())
+	if dest == LocalClient {
+		if fresh != nil {
+			n.apply(ks, Update{Key: u.Key, Type: FirstTime, Entries: fresh})
+		}
+		return []Action{{Kind: ActDeliverLocal, Key: u.Key, Entries: fresh}}
+	}
+	fwd := u
+	fwd.Depth = u.Depth + 1
+	fwd.Entries = fresh
+	return []Action{{Kind: ActSendUpdate, To: dest, Key: u.Key, Update: fwd}}
+}
+
+// freshOf filters a response payload down to still-fresh entries for
+// pass-through forwarding.
+func freshOf(entries []cache.Entry, now sim.Time) []cache.Entry {
+	out := make([]cache.Entry, 0, len(entries))
+	for _, e := range entries {
+		if e.Fresh(now) {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func maxExpiry(entries []cache.Entry) sim.Time {
+	var max sim.Time
+	for _, e := range entries {
+		if e.Expires > max {
+			max = e.Expires
+		}
+	}
+	return max
+}
+
+// OriginateUpdate is called at the authority when a replica event (birth,
+// refresh, deletion) changes the local directory; it propagates the update
+// to interested neighbors per §2.6. The caller must already have applied
+// the event to the local directory via InstallLocal/RemoveLocal.
+func (n *Node) OriginateUpdate(u Update) []Action {
+	if !n.IsAuthority(u.Key) {
+		panic(fmt.Sprintf("cup: %v originating update for foreign key %q", n.id, u.Key))
+	}
+	if n.cfg.Mode != ModeCUP {
+		return nil // standard caching never propagates
+	}
+	ks := n.state(u.Key)
+	u.Depth = 1
+	return n.pushProactive(ks, u, 0)
+}
+
+// HandleUpdate processes an update for u.Key arriving from upstream
+// neighbor `from`, implementing the three cases of §2.6.
+func (n *Node) HandleUpdate(from overlay.NodeID, u Update) []Action {
+	// Per-query responses (standard caching) bypass the CUP machinery and
+	// retrace their query's path.
+	if u.QueryID != 0 {
+		return n.handleDirectResponse(u)
+	}
+	ks := n.state(u.Key)
+	now := n.now()
+
+	// Case 3: the update expired in flight — do not apply, do not push.
+	// Deletes are always applied: removing a stale entry is still correct.
+	if u.Type != Delete && u.Expires <= now {
+		n.stats.Expired++
+		// An expired first-time update still terminates the pending
+		// query: the asker must re-issue rather than wait forever.
+		if ks.pfu {
+			return n.respondPending(ks, u, nil)
+		}
+		return nil
+	}
+
+	// Case 1: Pending-First-Update set — this update answers our query.
+	if ks.pfu {
+		// Whether this node stores the answer depends on its depth and
+		// role (§3.3): pure forwarders beyond the push level — and all
+		// forwarders under standard caching — pass the response through
+		// without building a cache entry.
+		if n.cfg.CachesAtDepth(u.Depth, ks.pendingLocal > 0) {
+			n.apply(ks, u)
+			n.resetPopularity(ks, u)
+			ks.dist = u.Depth
+			// Answer with the full fresh set now cached (the update may
+			// have been a single-entry refresh completing our answer).
+			return n.respondPending(ks, u, n.store.Fresh(u.Key, now))
+		}
+		ks.dist = u.Depth
+		n.resetPopularity(ks, u)
+		return n.respondPending(ks, u, freshOf(u.Entries, now))
+	}
+
+	// Case 2: no pending query.
+	ks.dist = u.Depth
+	if len(ks.interest) == 0 {
+		// No downstream interest: consult the cut-off policy. Under
+		// replica-independent cut-off only the watched replica's updates
+		// trigger the decision (§3.6).
+		if n.shouldEvaluate(ks, u) {
+			keep := ks.inst.Keep(ks.queries, u.Depth)
+			n.resetPopularity(ks, u)
+			if !keep {
+				return []Action{{Kind: ActSendClearBit, To: from, Key: u.Key}}
+			}
+		}
+		n.apply(ks, u)
+		n.markJustifyPending(ks, u)
+		return nil
+	}
+
+	// Downstream interest exists: apply and push to interested neighbors.
+	if n.shouldEvaluate(ks, u) {
+		n.resetPopularity(ks, u)
+	}
+	n.apply(ks, u)
+	n.markJustifyPending(ks, u)
+	return n.pushProactive(ks, u, u.Depth)
+}
+
+// respondPending clears the PFU flag and fans the response out to pending
+// children, waiting local clients, and (proactively) interested neighbors.
+func (n *Node) respondPending(ks *keyState, u Update, entries []cache.Entry) []Action {
+	ks.pfu = false
+	var acts []Action
+	if ks.pendingLocal > 0 {
+		acts = append(acts, Action{Kind: ActDeliverLocal, Key: u.Key, Entries: entries})
+		ks.pendingLocal = 0
+	}
+	resp := Update{
+		Key:     u.Key,
+		Type:    FirstTime,
+		Entries: entries,
+		Replica: -1,
+		Depth:   u.Depth + 1,
+		Expires: maxExpiry(entries),
+	}
+	// Pending children get the response unconditionally (it is their
+	// query's answer — miss cost, exempt from capacity limits).
+	children := make([]overlay.NodeID, 0, len(ks.pendingChildren))
+	for m := range ks.pendingChildren {
+		children = append(children, m)
+	}
+	sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+	for _, m := range children {
+		acts = append(acts, Action{Kind: ActSendUpdate, To: m, Key: u.Key, Update: resp})
+		delete(ks.pendingChildren, m)
+	}
+	// Interested-but-not-pending neighbors get a proactive push of the
+	// same fresh set, subject to push level and capacity.
+	if n.cfg.Mode == ModeCUP && entries != nil {
+		prev := map[overlay.NodeID]struct{}{}
+		for _, m := range children {
+			prev[m] = struct{}{}
+		}
+		proactive := n.pushProactiveExcept(ks, resp, u.Depth, prev)
+		acts = append(acts, proactive...)
+	}
+	return acts
+}
+
+// shouldEvaluate reports whether this update triggers the cut-off decision
+// and popularity reset.
+func (n *Node) shouldEvaluate(ks *keyState, u Update) bool {
+	if !n.cfg.ReplicaIndependentCutoff {
+		return true // naive: every update triggers (§3.6's buggy variant)
+	}
+	if u.Replica < 0 {
+		return true // first-time responses always reset
+	}
+	if ks.watchReplica < 0 {
+		ks.watchReplica = u.Replica
+	}
+	return u.Replica == ks.watchReplica
+}
+
+// resetPopularity zeroes the queries-since-last-update measure.
+func (n *Node) resetPopularity(ks *keyState, u Update) {
+	ks.queries = 0
+	// An update replacing the watched replica's entry re-designates on
+	// delete: if the watched replica is deleted, watch the next one seen.
+	if u.Type == Delete && u.Replica == ks.watchReplica {
+		ks.watchReplica = -1
+	}
+}
+
+// markJustifyPending records a proactive update for §3.1 accounting; any
+// query arriving before the update's expiry justifies it.
+func (n *Node) markJustifyPending(ks *keyState, u Update) {
+	if u.Type == FirstTime {
+		return // first-time updates are justified by construction
+	}
+	if ks.justifyPending {
+		// Previous proactive update was never matched by a query.
+		n.stats.Unjustified++
+	}
+	ks.justifyPending = true
+	ks.justifyDeadline = u.Expires
+}
+
+// apply folds an update into the cached index entries (never into the
+// local directory — those change only via replica events).
+func (n *Node) apply(ks *keyState, u Update) {
+	switch u.Type {
+	case FirstTime:
+		n.store.ReplaceKey(u.Key, cloneEntries(u.Entries))
+	case Refresh, Append:
+		for _, e := range cloneEntries(u.Entries) {
+			// A pushed refresh/append restarts the entry's lifetime from
+			// local receipt (§2.1's local-timestamp model), so chains of
+			// refreshed caches never suffer synchronized expiry.
+			if u.Lifetime > 0 {
+				e.Expires = n.now().Add(u.Lifetime)
+			}
+			n.store.Put(e)
+		}
+	case Delete:
+		n.store.Remove(u.Key, u.Replica)
+	}
+	if len(u.Entries) > 0 {
+		ks.everHeld = true
+	}
+}
+
+func cloneEntries(es []cache.Entry) []cache.Entry {
+	if es == nil {
+		return nil
+	}
+	out := make([]cache.Entry, len(es))
+	copy(out, es)
+	return out
+}
+
+// pushProactive forwards u to every interested neighbor, honoring the
+// sender-side push level and the node's outgoing capacity. senderDepth is
+// this node's distance from the authority (0 at the authority).
+func (n *Node) pushProactive(ks *keyState, u Update, senderDepth int) []Action {
+	return n.pushProactiveExcept(ks, u, senderDepth, nil)
+}
+
+func (n *Node) pushProactiveExcept(ks *keyState, u Update, senderDepth int, except map[overlay.NodeID]struct{}) []Action {
+	if len(ks.interest) == 0 {
+		return nil
+	}
+	// Sender-side push level (§3.3): do not propagate beyond level p.
+	if n.cfg.PushLevel >= 0 && senderDepth+1 > n.cfg.PushLevel {
+		return nil
+	}
+	// Outgoing capacity (§3.7): a node at reduced capacity c forwards only
+	// a c-fraction of the updates it receives. Deterministic thinning via
+	// a credit counter keeps runs reproducible.
+	if n.capacityFraction >= 0 {
+		n.capacityCredit += n.capacityFraction
+		if n.capacityCredit < 1 {
+			n.stats.Dropped++
+			return nil
+		}
+		n.capacityCredit--
+	}
+	targets := make([]overlay.NodeID, 0, len(ks.interest))
+	for m := range ks.interest {
+		if except != nil {
+			if _, dup := except[m]; dup {
+				continue
+			}
+		}
+		targets = append(targets, m)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	fwd := u
+	fwd.Depth = senderDepth + 1
+	acts := make([]Action, 0, len(targets))
+	for _, m := range targets {
+		acts = append(acts, Action{Kind: ActSendUpdate, To: m, Key: u.Key, Update: fwd})
+	}
+	return acts
+}
+
+// HandleClearBit processes a Clear-Bit control message from a downstream
+// neighbor (§2.7): clear its interest bit; if our own popularity is low and
+// no interest remains, propagate the clear-bit toward the authority.
+func (n *Node) HandleClearBit(from overlay.NodeID, k overlay.Key) []Action {
+	ks := n.state(k)
+	delete(ks.interest, from)
+	delete(ks.pendingChildren, from)
+	if len(ks.interest) > 0 || ks.queries > 0 || ks.pfu {
+		return nil
+	}
+	if n.IsAuthority(k) {
+		return nil // the root has no upstream to cut
+	}
+	next := n.router.NextHopTowardOwner(n.id, k)
+	return []Action{{Kind: ActSendClearBit, To: next, Key: k}}
+}
+
+// PatchNeighbors reconciles per-key bit vectors after overlay membership
+// changes (§2.9): interest and pending bits of vanished neighbors are
+// dropped; entries themselves are kept and simply expire if orphaned.
+func (n *Node) PatchNeighbors(current []overlay.NodeID) {
+	alive := make(map[overlay.NodeID]struct{}, len(current))
+	for _, m := range current {
+		alive[m] = struct{}{}
+	}
+	for _, ks := range n.keys {
+		for m := range ks.interest {
+			if _, ok := alive[m]; !ok {
+				delete(ks.interest, m)
+			}
+		}
+		for m := range ks.pendingChildren {
+			if _, ok := alive[m]; !ok {
+				delete(ks.pendingChildren, m)
+			}
+		}
+	}
+}
+
+// FlushExpired drops expired cached entries; transports may call it
+// periodically to bound memory.
+func (n *Node) FlushExpired() int { return n.store.Expire(n.now()) }
+
+// SettleJustification finalizes §3.1 accounting at the end of a run: any
+// still-pending proactive update that was never matched is unjustified.
+func (n *Node) SettleJustification() {
+	for _, ks := range n.keys {
+		if ks.justifyPending {
+			n.stats.Unjustified++
+			ks.justifyPending = false
+		}
+	}
+}

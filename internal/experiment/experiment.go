@@ -1,0 +1,335 @@
+// Package experiment regenerates every table and figure of the CUP
+// paper's evaluation (§3), plus the ablations called out in DESIGN.md.
+// Each experiment returns a metrics.Table whose rows mirror the paper's
+// layout; cmd/cupbench prints them and bench_test.go wraps them in
+// testing.B benchmarks.
+//
+// Scale controls cost: the paper's full workload (3000 s of querying, up
+// to λ = 1000 queries/s, n up to 4096) runs with Scale{Full: true}; the
+// default reduced scale keeps every experiment fast enough for go test
+// while preserving the shapes (who wins, by what factor, where the
+// crossovers fall).
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"cup/internal/cup"
+	"cup/internal/metrics"
+	"cup/internal/policy"
+	"cup/internal/sim"
+	"cup/internal/workload"
+)
+
+// Scale selects the workload size for the experiments.
+type Scale struct {
+	// Full reproduces the paper's parameters exactly; otherwise the query
+	// window and the highest rates shrink.
+	Full bool
+	// Seed varies the run deterministically.
+	Seed int64
+}
+
+func (s Scale) seed() int64 {
+	if s.Seed == 0 {
+		return 1
+	}
+	return s.Seed
+}
+
+// duration returns the query window length.
+func (s Scale) duration() sim.Duration {
+	if s.Full {
+		return 3000
+	}
+	return 600
+}
+
+// rate clamps the paper's rate λ under reduced scale so that event counts
+// stay small while preserving ordering across rates.
+func (s Scale) rate(lambda float64) float64 {
+	if s.Full || lambda <= 100 {
+		return lambda
+	}
+	return 100 + (lambda-100)/10 // 1000 → 190
+}
+
+// nodes clamps network size.
+func (s Scale) nodes(n int) int {
+	if s.Full || n <= 1024 {
+		return n
+	}
+	return 1024
+}
+
+// base builds the common parameter set of the §3.3-§3.6 experiments:
+// n = 2^10 nodes, one key, one replica, lifetime 300 s.
+func (s Scale) base(lambda float64) cup.Params {
+	return cup.Params{
+		Nodes:         1024,
+		QueryRate:     s.rate(lambda),
+		QueryDuration: s.duration(),
+		Seed:          s.seed(),
+	}
+}
+
+// PushLevels is the level sweep used for Figures 3 and 4.
+var PushLevels = []int{0, 5, 10, 15, 20, 25, 30}
+
+// pushLevelRun measures CUP propagating updates to every querying node at
+// most level hops from the authority, regardless of justification (§3.3):
+// the cut-off policy is all-out push, bounded only by the level. Level 0
+// is standard caching.
+func pushLevelRun(sc Scale, lambda float64, level int) *cup.Result {
+	p := sc.base(lambda)
+	if level == 0 {
+		p.Config = cup.Standard()
+	} else {
+		p.Config = cup.Config{
+			Mode:                     cup.ModeCUP,
+			Policy:                   policy.AlwaysKeep(),
+			PushLevel:                level,
+			ReplicaIndependentCutoff: true,
+		}
+	}
+	return cup.Run(p)
+}
+
+// FigPushLevel regenerates one push-level figure: total cost and miss
+// cost versus push level for the given rates (Figure 3 uses λ ∈ {1, 10},
+// Figure 4 λ ∈ {100, 1000}).
+func FigPushLevel(sc Scale, title string, rates []float64) *metrics.Table {
+	t := &metrics.Table{Title: title}
+	t.Header = []string{"push level"}
+	for _, r := range rates {
+		t.Header = append(t.Header,
+			fmt.Sprintf("total λ=%g", r), fmt.Sprintf("miss λ=%g", r))
+	}
+	for _, lvl := range PushLevels {
+		row := []string{metrics.I(lvl)}
+		for _, r := range rates {
+			res := pushLevelRun(sc, r, lvl)
+			row = append(row,
+				metrics.I(res.Counters.TotalCost()),
+				metrics.I(res.Counters.MissCost()))
+		}
+		t.AddRow(row...)
+	}
+	t.Caption = "Total and miss cost (hops) vs push level; level 0 = standard caching."
+	return t
+}
+
+// Fig3PushLevel reproduces Figure 3 (λ = 1 and 10 queries/s).
+func Fig3PushLevel(sc Scale) *metrics.Table {
+	return FigPushLevel(sc, "Figure 3: cost vs push level (λ=1, 10)", []float64{1, 10})
+}
+
+// Fig4PushLevel reproduces Figure 4 (λ = 100 and 1000 queries/s, log y).
+func Fig4PushLevel(sc Scale) *metrics.Table {
+	return FigPushLevel(sc, "Figure 4: cost vs push level (λ=100, 1000)", []float64{100, 1000})
+}
+
+// Table1Rates are the query rates compared across cut-off policies.
+var Table1Rates = []float64{1, 10, 100, 1000}
+
+// table1Policies enumerates the paper's Table 1 rows.
+func table1Policies() []struct {
+	label string
+	pol   policy.Policy
+} {
+	return []struct {
+		label string
+		pol   policy.Policy
+	}{
+		{"Linear, α=0.25", policy.Linear(0.25)},
+		{"Linear, α=0.10", policy.Linear(0.10)},
+		{"Linear, α=0.01", policy.Linear(0.01)},
+		{"Linear, α=0.001", policy.Linear(0.001)},
+		{"Logarithmic, α=0.5", policy.Logarithmic(0.5)},
+		{"Logarithmic, α=0.25", policy.Logarithmic(0.25)},
+		{"Logarithmic, α=0.10", policy.Logarithmic(0.10)},
+		{"Logarithmic, α=0.01", policy.Logarithmic(0.01)},
+		{"Second-chance", policy.SecondChance()},
+	}
+}
+
+// Table1Policies reproduces Table 1: total cost of standard caching, the
+// probability-based cut-off policies, second-chance, and the optimal push
+// level, for λ ∈ {1, 10, 100, 1000}. Cells show total cost and, in
+// parentheses, the cost normalized by standard caching.
+func Table1Policies(sc Scale) *metrics.Table {
+	t := &metrics.Table{Title: "Table 1: total cost for varying cut-off policies"}
+	t.Header = []string{"Policy"}
+	for _, r := range Table1Rates {
+		t.Header = append(t.Header, fmt.Sprintf("%g q/s", r))
+	}
+
+	std := make([]uint64, len(Table1Rates))
+	for i, r := range Table1Rates {
+		p := sc.base(r)
+		p.Config = cup.Standard()
+		std[i] = cup.Run(p).Counters.TotalCost()
+	}
+	cell := func(total uint64, i int) string {
+		return fmt.Sprintf("%d (%.2f)", total, float64(total)/math.Max(1, float64(std[i])))
+	}
+
+	row := []string{"Standard Caching"}
+	for i := range Table1Rates {
+		row = append(row, cell(std[i], i))
+	}
+	t.AddRow(row...)
+
+	for _, pr := range table1Policies() {
+		row := []string{pr.label}
+		for i, r := range Table1Rates {
+			p := sc.base(r)
+			p.Config = cup.Defaults()
+			p.Config.Policy = pr.pol
+			row = append(row, cell(cup.Run(p).Counters.TotalCost(), i))
+		}
+		t.AddRow(row...)
+	}
+
+	// Optimal push level: the minimum over the figure sweep.
+	row = []string{"Optimal push level"}
+	for i, r := range Table1Rates {
+		best := std[i]
+		for _, lvl := range PushLevels[1:] {
+			if c := pushLevelRun(sc, r, lvl).Counters.TotalCost(); c < best {
+				best = c
+			}
+		}
+		row = append(row, cell(best, i))
+	}
+	t.AddRow(row...)
+	t.Caption = "Cells: total cost in hops (normalized by standard caching)."
+	return t
+}
+
+// Table2Sizes are the network sizes n = 2^k, k = 3..12.
+var Table2Sizes = []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// Table2NetworkSize reproduces Table 2: CUP vs standard caching across
+// network sizes at λ = 1 query/s with the second-chance policy.
+func Table2NetworkSize(sc Scale) *metrics.Table {
+	sizes := Table2Sizes
+	if !sc.Full {
+		sizes = []int{8, 32, 128, 512, 1024}
+	}
+	t := &metrics.Table{Title: "Table 2: CUP vs standard caching, varying network size (λ=1)"}
+	t.Header = []string{"Metric"}
+	for _, n := range sizes {
+		t.Header = append(t.Header, metrics.I(sc.nodes(n)))
+	}
+	ratio := []string{"CUP / STD caching miss cost"}
+	cupLat := []string{"CUP miss latency"}
+	stdLat := []string{"STD caching miss latency"}
+	saved := []string{"Saved miss hops per CUP overhead hop"}
+	for _, n := range sizes {
+		n = sc.nodes(n)
+		p := sc.base(1)
+		p.Nodes = n
+		p.Config = cup.Standard()
+		std := cup.Run(p)
+		p.Config = cup.Defaults()
+		cupRes := cup.Run(p)
+		ratio = append(ratio, metrics.F(
+			float64(cupRes.Counters.MissCost())/math.Max(1, float64(std.Counters.MissCost()))))
+		cupLat = append(cupLat, metrics.F(cupRes.Counters.MissLatencyHops()))
+		stdLat = append(stdLat, metrics.F(std.Counters.MissLatencyHops()))
+		saved = append(saved, metrics.F(cupRes.Counters.SavedMissRatio(&std.Counters)))
+	}
+	t.AddRow(ratio...)
+	t.AddRow(cupLat...)
+	t.AddRow(stdLat...)
+	t.AddRow(saved...)
+	t.Caption = "Second-chance cut-off; miss latency in hops per miss."
+	return t
+}
+
+// Table3Replicas are the replica counts swept in Table 3.
+var Table3Replicas = []int{100, 50, 10, 5, 2, 1}
+
+// Table3ReplicasTable reproduces Table 3: the naive cut-off (popularity
+// reset on every update arrival) versus the replica-independent cut-off,
+// for varying numbers of replicas per key.
+func Table3ReplicasTable(sc Scale) *metrics.Table {
+	reps := Table3Replicas
+	if !sc.Full {
+		reps = []int{20, 10, 5, 2, 1}
+	}
+	t := &metrics.Table{Title: "Table 3: naive vs replica-independent cut-off (λ=1, n=1024)"}
+	t.Header = []string{"Replicas",
+		"Naive miss cost (misses)", "Repl-indep miss cost (misses)", "Repl-indep total cost"}
+	for _, r := range reps {
+		p := sc.base(1)
+		p.Replicas = r
+		p.Config = cup.Defaults()
+		p.Config.ReplicaIndependentCutoff = false
+		naive := cup.Run(p)
+		p.Config.ReplicaIndependentCutoff = true
+		fixed := cup.Run(p)
+		t.AddRow(
+			metrics.I(r),
+			fmt.Sprintf("%d (%d)", naive.Counters.MissCost(), naive.Counters.Misses()),
+			fmt.Sprintf("%d (%d)", fixed.Counters.MissCost(), fixed.Counters.Misses()),
+			metrics.I(fixed.Counters.TotalCost()),
+		)
+	}
+	t.Caption = "Second-chance policy; every replica refresh sent as a separate update."
+	return t
+}
+
+// Capacities is the reduced-capacity sweep of Figures 5 and 6.
+var Capacities = []float64{0, 0.25, 0.5, 0.75, 1}
+
+// FigCapacity reproduces Figures 5 (λ=1) and 6 (λ=1000): total cost when
+// 20% of nodes run at reduced outgoing capacity c, under the Up-And-Down
+// and Once-Down-Always-Down schedules, against the standard-caching line.
+func FigCapacity(sc Scale, title string, lambda float64) *metrics.Table {
+	t := &metrics.Table{Title: title}
+	t.Header = []string{"capacity c", "Up-And-Down total", "Once-Down-Always-Down total", "Standard caching"}
+
+	pStd := sc.base(lambda)
+	pStd.Config = cup.Standard()
+	std := cup.Run(pStd).Counters.TotalCost()
+
+	fault := func(c float64) workload.CapacityFault {
+		f := workload.CapacityFault{
+			Capacity:      c,
+			QueryStart:    300,
+			QueryDuration: sc.duration(),
+		}
+		if !sc.Full {
+			// Shrink the paper's 5/10/5-minute fault cycle with the query
+			// window so several Up-And-Down cycles still occur.
+			f.Warmup, f.Down, f.Stabilize = 100, 150, 75
+		}
+		return f
+	}
+	for _, c := range Capacities {
+		pUp := sc.base(lambda)
+		pUp.Hooks = workload.UpAndDown(fault(c))
+		up := cup.Run(pUp).Counters.TotalCost()
+
+		pDown := sc.base(lambda)
+		pDown.Hooks = workload.OnceDownAlwaysDown(fault(c))
+		down := cup.Run(pDown).Counters.TotalCost()
+
+		t.AddRow(metrics.F(c), metrics.I(up), metrics.I(down), metrics.I(std))
+	}
+	t.Caption = "20% of nodes at reduced capacity; second-chance policy."
+	return t
+}
+
+// Fig5Capacity reproduces Figure 5 (λ = 1 query/s).
+func Fig5Capacity(sc Scale) *metrics.Table {
+	return FigCapacity(sc, "Figure 5: total cost vs reduced capacity (λ=1)", 1)
+}
+
+// Fig6Capacity reproduces Figure 6 (λ = 1000 queries/s, log y).
+func Fig6Capacity(sc Scale) *metrics.Table {
+	return FigCapacity(sc, "Figure 6: total cost vs reduced capacity (λ=1000)", 1000)
+}

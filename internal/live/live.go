@@ -1,0 +1,331 @@
+// Package live runs CUP as a real concurrent system: every peer is a
+// goroutine, query channels and update channels are Go channels, and the
+// per-hop network delay is wall-clock time. It drives exactly the same
+// protocol state machine (internal/cup.Node) as the discrete-event
+// simulator, so the simulated protocol and the deployable one cannot
+// diverge — the transports are interchangeable shells.
+//
+// This is the runtime the examples and cmd/cuplive use; it is also a
+// demonstration that the paper's node model ("every node maintains two
+// logical channels per neighbor") maps one-to-one onto goroutines and
+// channels.
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cup/internal/cache"
+	"cup/internal/cup"
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+// Stats aggregates network-wide message counts.
+type Stats struct {
+	QueryMsgs    uint64
+	UpdateMsgs   uint64
+	ClearBitMsgs uint64
+}
+
+// Network hosts a set of CUP peers over an overlay.
+type Network struct {
+	ov     overlay.Overlay
+	router *cup.OverlayRouter
+	delay  time.Duration
+	start  time.Time
+	nodes  []*peer
+	stats  Stats
+	wg     sync.WaitGroup
+	closed chan struct{}
+	once   sync.Once
+}
+
+type msgKind int
+
+const (
+	msgQuery msgKind = iota
+	msgUpdate
+	msgClearBit
+	msgControl
+)
+
+type message struct {
+	kind   msgKind
+	from   overlay.NodeID
+	key    overlay.Key
+	qid    uint64
+	update cup.Update
+	ctrl   func(*peer) // msgControl: run on the peer's goroutine
+}
+
+// peer is one goroutine-hosted protocol node.
+type peer struct {
+	id    overlay.NodeID
+	node  *cup.Node
+	inbox chan message
+	net   *Network
+	// waiters holds reply channels for local lookups awaiting an answer.
+	waiters map[overlay.Key][]chan []cache.Entry
+}
+
+// Config parameterizes a live network.
+type Config struct {
+	// Nodes is the overlay size.
+	Nodes int
+	// HopDelay is the wall-clock per-hop latency (default 1ms).
+	HopDelay time.Duration
+	// Node is the per-node protocol configuration (default cup.Defaults()).
+	Node cup.Config
+	// Seed drives overlay construction.
+	Seed int64
+	// InboxDepth bounds each peer's mailbox (default 1024).
+	InboxDepth int
+}
+
+// NewNetwork builds a CAN overlay of cfg.Nodes peers and starts one
+// goroutine per peer. Callers must Close the network when done.
+func NewNetwork(cfg Config) *Network {
+	if cfg.Nodes <= 0 {
+		panic("live: Nodes must be positive")
+	}
+	if cfg.HopDelay == 0 {
+		cfg.HopDelay = time.Millisecond
+	}
+	if cfg.Node.Policy == nil {
+		cfg.Node = cup.Defaults()
+	}
+	if cfg.InboxDepth == 0 {
+		cfg.InboxDepth = 1024
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	ov := canBuild(cfg.Nodes, cfg.Seed)
+	n := &Network{
+		ov:     ov,
+		router: cup.NewOverlayRouter(ov),
+		delay:  cfg.HopDelay,
+		start:  time.Now(),
+		closed: make(chan struct{}),
+	}
+	n.nodes = make([]*peer, cfg.Nodes)
+	for i := range n.nodes {
+		id := overlay.NodeID(i)
+		p := &peer{
+			id:      id,
+			node:    cup.NewNode(id, cfg.Node, n.router, n.now),
+			inbox:   make(chan message, cfg.InboxDepth),
+			net:     n,
+			waiters: make(map[overlay.Key][]chan []cache.Entry),
+		}
+		n.nodes[i] = p
+		n.wg.Add(1)
+		go p.loop(&n.wg)
+	}
+	return n
+}
+
+// now maps wall time onto the protocol's virtual clock.
+func (n *Network) now() sim.Time { return sim.Time(time.Since(n.start).Seconds()) }
+
+// Now exposes the network clock (useful for constructing entry lifetimes).
+func (n *Network) Now() sim.Time { return n.now() }
+
+// Size returns the number of peers.
+func (n *Network) Size() int { return len(n.nodes) }
+
+// Overlay exposes the underlying overlay (read-only use).
+func (n *Network) Overlay() overlay.Overlay { return n.ov }
+
+// Stats returns a snapshot of message counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		QueryMsgs:    atomic.LoadUint64(&n.stats.QueryMsgs),
+		UpdateMsgs:   atomic.LoadUint64(&n.stats.UpdateMsgs),
+		ClearBitMsgs: atomic.LoadUint64(&n.stats.ClearBitMsgs),
+	}
+}
+
+// Close shuts down all peers and waits for their goroutines.
+func (n *Network) Close() {
+	n.once.Do(func() { close(n.closed) })
+	n.wg.Wait()
+}
+
+// send delivers a message after the per-hop delay. Deliveries racing a
+// Close are dropped, mirroring a network partition at shutdown.
+func (n *Network) send(to overlay.NodeID, m message) {
+	time.AfterFunc(n.delay, func() {
+		select {
+		case n.nodes[to].inbox <- m:
+		case <-n.closed:
+		}
+	})
+}
+
+// loop is the peer goroutine: one message at a time through the protocol
+// state machine, actions dispatched back onto the network.
+func (p *peer) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-p.net.closed:
+			return
+		case m := <-p.inbox:
+			p.handle(m)
+		}
+	}
+}
+
+func (p *peer) handle(m message) {
+	var acts []cup.Action
+	switch m.kind {
+	case msgQuery:
+		acts = p.node.HandleQuery(m.from, m.key, m.qid)
+	case msgUpdate:
+		acts = p.node.HandleUpdate(m.from, m.update)
+	case msgClearBit:
+		acts = p.node.HandleClearBit(m.from, m.key)
+	case msgControl:
+		m.ctrl(p)
+		return
+	}
+	p.dispatch(acts)
+}
+
+func (p *peer) dispatch(acts []cup.Action) {
+	for _, a := range acts {
+		switch a.Kind {
+		case cup.ActSendQuery:
+			atomic.AddUint64(&p.net.stats.QueryMsgs, 1)
+			p.net.send(a.To, message{kind: msgQuery, from: p.id, key: a.Key, qid: a.QueryID})
+		case cup.ActSendUpdate:
+			atomic.AddUint64(&p.net.stats.UpdateMsgs, 1)
+			p.net.send(a.To, message{kind: msgUpdate, from: p.id, key: a.Key, update: a.Update})
+		case cup.ActSendClearBit:
+			atomic.AddUint64(&p.net.stats.ClearBitMsgs, 1)
+			p.net.send(a.To, message{kind: msgClearBit, from: p.id, key: a.Key})
+		case cup.ActDeliverLocal:
+			for _, ch := range p.waiters[a.Key] {
+				ch <- a.Entries
+			}
+			delete(p.waiters, a.Key)
+		}
+	}
+}
+
+// Lookup posts a search query for key at node id and waits for the index
+// entries (or ctx cancellation). A fresh locally cached answer returns
+// immediately; otherwise the query travels the overlay.
+func (n *Network) Lookup(ctx context.Context, id overlay.NodeID, key overlay.Key) ([]cache.Entry, error) {
+	reply := make(chan []cache.Entry, 1)
+	ctrl := message{kind: msgControl, ctrl: func(p *peer) {
+		acts := p.node.HandleQuery(cup.LocalClient, key, 0)
+		// A synchronous answer arrives as a DeliverLocal action; register
+		// the waiter first so both paths converge.
+		p.waiters[key] = append(p.waiters[key], reply)
+		p.dispatch(acts)
+	}}
+	select {
+	case n.nodes[id].inbox <- ctrl:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case entries := <-reply:
+		return entries, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-n.closed:
+		return nil, fmt.Errorf("live: network closed")
+	}
+}
+
+// Authority returns the node owning key.
+func (n *Network) Authority(key overlay.Key) overlay.NodeID { return n.ov.Owner(key) }
+
+// AddReplica installs an index entry for (key, replica) at its authority
+// and propagates the birth as an Append update. lifetime bounds the
+// entry's freshness; replicas should Refresh before it elapses.
+func (n *Network) AddReplica(key overlay.Key, replica int, addr string, lifetime time.Duration) {
+	n.replicaEvent(key, replica, addr, lifetime, cup.Append)
+}
+
+// Refresh extends the lifetime of (key, replica), propagating a Refresh
+// update to interested peers.
+func (n *Network) Refresh(key overlay.Key, replica int, addr string, lifetime time.Duration) {
+	n.replicaEvent(key, replica, addr, lifetime, cup.Refresh)
+}
+
+func (n *Network) replicaEvent(key overlay.Key, replica int, addr string, lifetime time.Duration, ty cup.UpdateType) {
+	auth := n.Authority(key)
+	life := sim.Duration(lifetime.Seconds())
+	ctrl := message{kind: msgControl, ctrl: func(p *peer) {
+		e := cache.Entry{
+			Key: key, Replica: replica, Addr: addr,
+			Expires: p.net.now().Add(life),
+		}
+		p.node.InstallLocal(e)
+		u := cup.Update{
+			Key: key, Type: ty, Entries: []cache.Entry{e}, Replica: replica,
+			Expires: e.Expires, Lifetime: life,
+		}
+		p.dispatch(p.node.OriginateUpdate(u))
+	}}
+	select {
+	case n.nodes[auth].inbox <- ctrl:
+	case <-n.closed:
+	}
+}
+
+// RemoveReplica deletes (key, replica) at the authority and propagates a
+// Delete update so caches do not serve the dead replica until expiry.
+func (n *Network) RemoveReplica(key overlay.Key, replica int) {
+	auth := n.Authority(key)
+	ctrl := message{kind: msgControl, ctrl: func(p *peer) {
+		p.node.RemoveLocal(key, replica)
+		u := cup.Update{
+			Key: key, Type: cup.Delete, Replica: replica,
+			Expires: p.net.now().Add(sim.Duration(3600)),
+		}
+		p.dispatch(p.node.OriginateUpdate(u))
+	}}
+	select {
+	case n.nodes[auth].inbox <- ctrl:
+	case <-n.closed:
+	}
+}
+
+// SetCapacity adjusts a peer's outgoing update capacity fraction
+// (negative restores full capacity), as in the §3.7 experiments.
+func (n *Network) SetCapacity(id overlay.NodeID, c float64) {
+	ctrl := message{kind: msgControl, ctrl: func(p *peer) { p.node.SetCapacity(c) }}
+	select {
+	case n.nodes[id].inbox <- ctrl:
+	case <-n.closed:
+	}
+}
+
+// Inspect runs fn on node id's goroutine with exclusive access to its
+// protocol state; it blocks until fn completes. Intended for tests and
+// diagnostics.
+func (n *Network) Inspect(id overlay.NodeID, fn func(*cup.Node)) {
+	done := make(chan struct{})
+	ctrl := message{kind: msgControl, ctrl: func(p *peer) {
+		fn(p.node)
+		close(done)
+	}}
+	select {
+	case n.nodes[id].inbox <- ctrl:
+	case <-n.closed:
+		return
+	}
+	select {
+	case <-done:
+	case <-n.closed:
+	}
+}

@@ -1,0 +1,233 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cup/internal/cup"
+	"cup/internal/overlay"
+)
+
+func newTestNet(t *testing.T, nodes int) *Network {
+	t.Helper()
+	n := NewNetwork(Config{Nodes: nodes, HopDelay: 200 * time.Microsecond, Seed: 5})
+	t.Cleanup(n.Close)
+	return n
+}
+
+func ctxShort(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestLookupFindsReplica(t *testing.T) {
+	n := newTestNet(t, 16)
+	n.AddReplica("movie", 0, "10.0.0.1", time.Hour)
+	entries, err := n.Lookup(ctxShort(t), 3, "movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Addr != "10.0.0.1" {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestLookupMissingKeyReturnsEmpty(t *testing.T) {
+	n := newTestNet(t, 16)
+	entries, err := n.Lookup(ctxShort(t), 2, "ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("entries = %+v, want none", entries)
+	}
+}
+
+func TestLookupAtAuthorityIsLocal(t *testing.T) {
+	n := newTestNet(t, 16)
+	n.AddReplica("k", 0, "10.0.0.1", time.Hour)
+	auth := n.Authority("k")
+	entries, err := n.Lookup(ctxShort(t), auth, "k")
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("authority lookup = %v, %v", entries, err)
+	}
+}
+
+func TestSecondLookupHitsCache(t *testing.T) {
+	n := newTestNet(t, 32)
+	n.AddReplica("k", 0, "10.0.0.1", time.Hour)
+	var nid overlay.NodeID = 7
+	if n.Authority("k") == nid {
+		nid = 8
+	}
+	if _, err := n.Lookup(ctxShort(t), nid, "k"); err != nil {
+		t.Fatal(err)
+	}
+	before := n.Stats().QueryMsgs
+	if _, err := n.Lookup(ctxShort(t), nid, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if after := n.Stats().QueryMsgs; after != before {
+		t.Fatalf("second lookup sent %d query messages", after-before)
+	}
+}
+
+func TestConcurrentLookups(t *testing.T) {
+	n := newTestNet(t, 64)
+	for r := 0; r < 3; r++ {
+		n.AddReplica("hot", r, fmt.Sprintf("10.0.0.%d", r), time.Hour)
+	}
+	ctx := ctxShort(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			entries, err := n.Lookup(ctx, overlay.NodeID(i), "hot")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(entries) != 3 {
+				errs <- fmt.Errorf("node %d got %d entries, want 3", i, len(entries))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestDeleteStopsServingReplica(t *testing.T) {
+	n := newTestNet(t, 16)
+	n.AddReplica("k", 0, "10.0.0.1", time.Hour)
+	n.AddReplica("k", 1, "10.0.0.2", time.Hour)
+	if _, err := n.Lookup(ctxShort(t), 2, "k"); err != nil {
+		t.Fatal(err)
+	}
+	n.RemoveReplica("k", 0)
+	// The delete must reach the authority and interested caches.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		entries, err := n.Lookup(ctxShort(t), n.Authority("k"), "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) == 1 && entries[0].Replica == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delete never applied; entries = %+v", entries)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRefreshPropagatesToInterestedPeer(t *testing.T) {
+	n := newTestNet(t, 16)
+	n.AddReplica("k", 0, "10.0.0.1", 500*time.Millisecond)
+	var nid overlay.NodeID = 4
+	if n.Authority("k") == nid {
+		nid = 5
+	}
+	if _, err := n.Lookup(ctxShort(t), nid, "k"); err != nil {
+		t.Fatal(err)
+	}
+	// Refresh before expiry; the interested peer's cache must be extended
+	// without it issuing another query.
+	n.Refresh("k", 0, "10.0.0.1", time.Hour)
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		var fresh bool
+		n.Inspect(nid, func(node *cup.Node) { fresh = node.HasFreshAnswer("k") })
+		if fresh {
+			queriesBefore := n.Stats().QueryMsgs
+			if _, err := n.Lookup(ctxShort(t), nid, "k"); err != nil {
+				t.Fatal(err)
+			}
+			if n.Stats().QueryMsgs != queriesBefore {
+				t.Fatal("refreshed peer still issued a query")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("refresh never reached the interested peer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	n := newTestNet(t, 32)
+	n.AddReplica("k", 0, "10.0.0.1", time.Hour)
+	for i := 0; i < 5; i++ {
+		if _, err := n.Lookup(ctxShort(t), overlay.NodeID(i), "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := n.Stats()
+	if st.QueryMsgs == 0 || st.UpdateMsgs == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSetCapacityZeroStillAnswersQueries(t *testing.T) {
+	n := newTestNet(t, 16)
+	n.AddReplica("k", 0, "10.0.0.1", time.Hour)
+	for i := 0; i < 16; i++ {
+		n.SetCapacity(overlay.NodeID(i), 0)
+	}
+	entries, err := n.Lookup(ctxShort(t), 3, "k")
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("zero-capacity lookup = %v, %v", entries, err)
+	}
+}
+
+func TestLookupContextCancellation(t *testing.T) {
+	n := NewNetwork(Config{Nodes: 16, HopDelay: time.Hour, Seed: 5}) // never delivers
+	defer n.Close()
+	n.AddReplica("k", 0, "10.0.0.1", time.Hour)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	nid := overlay.NodeID(3)
+	if n.Authority("k") == nid {
+		nid = 4
+	}
+	if _, err := n.Lookup(ctx, nid, "k"); err == nil {
+		t.Fatal("lookup with undeliverable network returned")
+	}
+}
+
+func TestCloseIsIdempotentAndStopsLoops(t *testing.T) {
+	n := NewNetwork(Config{Nodes: 8, Seed: 5})
+	n.Close()
+	n.Close()
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Nodes=0 did not panic")
+		}
+	}()
+	NewNetwork(Config{Nodes: 0})
+}
+
+func TestInspectSeesProtocolState(t *testing.T) {
+	n := newTestNet(t, 16)
+	n.AddReplica("k", 0, "10.0.0.1", time.Hour)
+	auth := n.Authority("k")
+	var entries int
+	n.Inspect(auth, func(node *cup.Node) { entries = node.LocalDirectory().Len() })
+	if entries != 1 {
+		t.Fatalf("authority local directory = %d entries, want 1", entries)
+	}
+}

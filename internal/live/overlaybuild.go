@@ -1,0 +1,14 @@
+package live
+
+import (
+	"cup/internal/can"
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+// canBuild constructs the CAN substrate for a live network. Kept in its
+// own function so alternative substrates (chord.Build) can be swapped in
+// by tests.
+func canBuild(n int, seed int64) overlay.Overlay {
+	return can.Build(n, sim.NewRand(seed))
+}

@@ -1,0 +1,292 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cup/internal/cache"
+	"cup/internal/cup"
+	"cup/internal/overlay"
+	"cup/internal/sim"
+	"cup/internal/wire"
+)
+
+// TCPNetwork runs CUP peers as real TCP endpoints on the loopback
+// interface: every peer owns a listener, query/update/clear-bit messages
+// are wire-encoded frames over persistent connections, and the protocol
+// state machine is the same internal/cup.Node the simulator drives. This
+// is the deployment shape the paper describes — two logical channels per
+// neighbor — expressed as sockets.
+type TCPNetwork struct {
+	ov     overlay.Overlay
+	router *cup.OverlayRouter
+	start  time.Time
+	peers  []*tcpPeer
+	wg     sync.WaitGroup
+	closed chan struct{}
+	once   sync.Once
+}
+
+// tcpPeer is one protocol endpoint: a listener, an inbox serializing all
+// protocol work onto one goroutine, and lazily dialed outbound conns.
+type tcpPeer struct {
+	id      overlay.NodeID
+	node    *cup.Node
+	net     *TCPNetwork
+	ln      net.Listener
+	inbox   chan tcpWork
+	waiters map[overlay.Key][]chan []cache.Entry
+
+	mu    sync.Mutex // guards conns
+	conns map[overlay.NodeID]net.Conn
+}
+
+// tcpWork is one unit for the peer goroutine: either an inbound protocol
+// message or a control closure.
+type tcpWork struct {
+	msg  wire.Message
+	ctrl func(*tcpPeer)
+}
+
+// NewTCPNetwork starts n peers listening on 127.0.0.1 ephemeral ports
+// over a seeded CAN overlay. Close releases all sockets and goroutines.
+func NewTCPNetwork(n int, seed int64, cfg cup.Config) (*TCPNetwork, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("live: need at least one peer, got %d", n)
+	}
+	if cfg.Policy == nil {
+		cfg = cup.Defaults()
+	}
+	ov := canBuild(n, seed)
+	tn := &TCPNetwork{
+		ov:     ov,
+		router: cup.NewOverlayRouter(ov),
+		start:  time.Now(),
+		closed: make(chan struct{}),
+	}
+	tn.peers = make([]*tcpPeer, n)
+	for i := range tn.peers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tn.Close()
+			return nil, fmt.Errorf("live: listen: %w", err)
+		}
+		id := overlay.NodeID(i)
+		p := &tcpPeer{
+			id:      id,
+			node:    cup.NewNode(id, cfg, tn.router, tn.now),
+			net:     tn,
+			ln:      ln,
+			inbox:   make(chan tcpWork, 256),
+			waiters: make(map[overlay.Key][]chan []cache.Entry),
+			conns:   make(map[overlay.NodeID]net.Conn),
+		}
+		tn.peers[i] = p
+	}
+	for _, p := range tn.peers {
+		tn.wg.Add(2)
+		go p.acceptLoop(&tn.wg)
+		go p.workLoop(&tn.wg)
+	}
+	return tn, nil
+}
+
+func (tn *TCPNetwork) now() sim.Time { return sim.Time(time.Since(tn.start).Seconds()) }
+
+// Size returns the number of peers.
+func (tn *TCPNetwork) Size() int { return len(tn.peers) }
+
+// Addr returns the listen address of peer id (for external clients).
+func (tn *TCPNetwork) Addr(id overlay.NodeID) string { return tn.peers[id].ln.Addr().String() }
+
+// Authority returns the node owning key.
+func (tn *TCPNetwork) Authority(key overlay.Key) overlay.NodeID { return tn.ov.Owner(key) }
+
+// Close tears the network down: listeners, connections, goroutines.
+func (tn *TCPNetwork) Close() {
+	tn.once.Do(func() {
+		close(tn.closed)
+		for _, p := range tn.peers {
+			if p == nil {
+				continue
+			}
+			if p.ln != nil {
+				p.ln.Close()
+			}
+			p.mu.Lock()
+			for _, c := range p.conns {
+				c.Close()
+			}
+			p.mu.Unlock()
+		}
+	})
+	tn.wg.Wait()
+}
+
+// acceptLoop takes inbound connections and spawns frame readers.
+func (p *tcpPeer) acceptLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.net.wg.Add(1)
+		go p.readLoop(conn, &p.net.wg)
+	}
+}
+
+// readLoop decodes frames off one connection into the peer's inbox.
+func (p *tcpPeer) readLoop(conn net.Conn, wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer conn.Close()
+	for {
+		m, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		select {
+		case p.inbox <- tcpWork{msg: m}:
+		case <-p.net.closed:
+			return
+		}
+	}
+}
+
+// workLoop is the peer's single protocol goroutine.
+func (p *tcpPeer) workLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-p.net.closed:
+			return
+		case w := <-p.inbox:
+			if w.ctrl != nil {
+				w.ctrl(p)
+				continue
+			}
+			p.handleWire(w.msg)
+		}
+	}
+}
+
+func (p *tcpPeer) handleWire(m wire.Message) {
+	var acts []cup.Action
+	switch v := m.(type) {
+	case wire.Query:
+		acts = p.node.HandleQuery(v.From, v.Key, v.QueryID)
+	case wire.UpdateMsg:
+		acts = p.node.HandleUpdate(v.From, v.Update)
+	case wire.ClearBit:
+		acts = p.node.HandleClearBit(v.From, v.Key)
+	case wire.Hello:
+		// Connection identification only; nothing protocol-visible.
+	}
+	p.dispatch(acts)
+}
+
+func (p *tcpPeer) dispatch(acts []cup.Action) {
+	for _, a := range acts {
+		switch a.Kind {
+		case cup.ActSendQuery:
+			p.sendWire(a.To, wire.Query{From: p.id, Key: a.Key, QueryID: a.QueryID})
+		case cup.ActSendUpdate:
+			p.sendWire(a.To, wire.UpdateMsg{From: p.id, Update: a.Update})
+		case cup.ActSendClearBit:
+			p.sendWire(a.To, wire.ClearBit{From: p.id, Key: a.Key})
+		case cup.ActDeliverLocal:
+			for _, ch := range p.waiters[a.Key] {
+				ch <- a.Entries
+			}
+			delete(p.waiters, a.Key)
+		}
+	}
+}
+
+// sendWire writes a frame on the persistent connection to a neighbor,
+// dialing on first use. Failures drop the message and the connection —
+// CUP tolerates lost updates by falling back to expiration (§2.8), and a
+// lost query is re-issued by the client.
+func (p *tcpPeer) sendWire(to overlay.NodeID, m wire.Message) {
+	conn, err := p.connTo(to)
+	if err != nil {
+		return
+	}
+	if err := wire.WriteFrame(conn, m); err != nil {
+		p.mu.Lock()
+		if p.conns[to] == conn {
+			delete(p.conns, to)
+		}
+		p.mu.Unlock()
+		conn.Close()
+	}
+}
+
+func (p *tcpPeer) connTo(to overlay.NodeID) (net.Conn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.conns[to]; ok {
+		return c, nil
+	}
+	c, err := net.DialTimeout("tcp", p.net.peers[to].ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(c, wire.Hello{From: p.id}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	p.conns[to] = c
+	return c, nil
+}
+
+// Lookup posts a query for key at peer id and waits for the answer.
+func (tn *TCPNetwork) Lookup(ctx context.Context, id overlay.NodeID, key overlay.Key) ([]cache.Entry, error) {
+	reply := make(chan []cache.Entry, 1)
+	work := tcpWork{ctrl: func(p *tcpPeer) {
+		acts := p.node.HandleQuery(cup.LocalClient, key, 0)
+		p.waiters[key] = append(p.waiters[key], reply)
+		p.dispatch(acts)
+	}}
+	select {
+	case tn.peers[id].inbox <- work:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case entries := <-reply:
+		return entries, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-tn.closed:
+		return nil, fmt.Errorf("live: network closed")
+	}
+}
+
+// AddReplica installs an index entry at the authority and announces it.
+func (tn *TCPNetwork) AddReplica(key overlay.Key, replica int, addr string, lifetime time.Duration) {
+	tn.replicaEvent(key, replica, addr, lifetime, cup.Append)
+}
+
+// Refresh extends (key, replica)'s lifetime, propagating to subscribers.
+func (tn *TCPNetwork) Refresh(key overlay.Key, replica int, addr string, lifetime time.Duration) {
+	tn.replicaEvent(key, replica, addr, lifetime, cup.Refresh)
+}
+
+func (tn *TCPNetwork) replicaEvent(key overlay.Key, replica int, addr string, lifetime time.Duration, ty cup.UpdateType) {
+	life := sim.Duration(lifetime.Seconds())
+	work := tcpWork{ctrl: func(p *tcpPeer) {
+		e := cache.Entry{Key: key, Replica: replica, Addr: addr, Expires: p.net.now().Add(life)}
+		p.node.InstallLocal(e)
+		u := cup.Update{Key: key, Type: ty, Entries: []cache.Entry{e}, Replica: replica,
+			Expires: e.Expires, Lifetime: life}
+		p.dispatch(p.node.OriginateUpdate(u))
+	}}
+	select {
+	case tn.peers[tn.Authority(key)].inbox <- work:
+	case <-tn.closed:
+	}
+}

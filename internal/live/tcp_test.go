@@ -1,0 +1,151 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cup/internal/cup"
+	"cup/internal/overlay"
+)
+
+// defaultCfg returns the standard CUP node configuration for TCP tests.
+func defaultCfg() cup.Config { return cup.Defaults() }
+
+func TestTCPLookupFindsReplica(t *testing.T) {
+	tn, err := NewTCPNetwork(12, 3, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+	tn.AddReplica("iso", 0, "203.0.113.1:8080", time.Hour)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	entries, err := tn.Lookup(ctx, 5, "iso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Addr != "203.0.113.1:8080" {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestTCPSecondLookupIsCached(t *testing.T) {
+	tn, err := NewTCPNetwork(16, 3, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+	tn.AddReplica("k", 0, "10.1.1.1", time.Hour)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var nid overlay.NodeID = 7
+	if tn.Authority("k") == nid {
+		nid = 8
+	}
+	if _, err := tn.Lookup(ctx, nid, "k"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := tn.Lookup(ctx, nid, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("cached lookup took %v", d)
+	}
+}
+
+func TestTCPConcurrentLookups(t *testing.T) {
+	tn, err := NewTCPNetwork(24, 3, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+	for r := 0; r < 2; r++ {
+		tn.AddReplica("hot", r, fmt.Sprintf("10.0.0.%d", r), time.Hour)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			entries, err := tn.Lookup(ctx, overlay.NodeID(i), "hot")
+			if err != nil {
+				errs <- fmt.Errorf("node %d: %w", i, err)
+				return
+			}
+			if len(entries) != 2 {
+				errs <- fmt.Errorf("node %d: %d entries", i, len(entries))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestTCPRefreshReachesSubscriber(t *testing.T) {
+	tn, err := NewTCPNetwork(12, 3, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+	tn.AddReplica("k", 0, "10.1.1.1", 300*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var nid overlay.NodeID = 4
+	if tn.Authority("k") == nid {
+		nid = 5
+	}
+	if _, err := tn.Lookup(ctx, nid, "k"); err != nil {
+		t.Fatal(err)
+	}
+	tn.Refresh("k", 0, "10.1.1.1", time.Hour)
+	time.Sleep(500 * time.Millisecond) // original entry now expired
+	start := time.Now()
+	entries, err := tn.Lookup(ctx, nid, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries after refresh = %+v", entries)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("post-refresh lookup walked the overlay (%v); refresh never arrived", d)
+	}
+}
+
+func TestTCPInvalidSize(t *testing.T) {
+	if _, err := NewTCPNetwork(0, 1, defaultCfg()); err == nil {
+		t.Fatal("0 peers accepted")
+	}
+}
+
+func TestTCPAddrIsRoutable(t *testing.T) {
+	tn, err := NewTCPNetwork(4, 3, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+	for i := 0; i < 4; i++ {
+		if tn.Addr(overlay.NodeID(i)) == "" {
+			t.Fatalf("peer %d has no address", i)
+		}
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	tn, err := NewTCPNetwork(4, 3, defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.Close()
+	tn.Close()
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersIdentities(t *testing.T) {
+	c := Counters{
+		Queries: 100, Hits: 60,
+		QueryHops: 50, ResponseHops: 50,
+		UpdateHops: 30, ClearBitHops: 10,
+	}
+	if c.Misses() != 40 {
+		t.Fatalf("Misses = %d", c.Misses())
+	}
+	if c.MissCost() != 100 {
+		t.Fatalf("MissCost = %d", c.MissCost())
+	}
+	if c.Overhead() != 40 {
+		t.Fatalf("Overhead = %d", c.Overhead())
+	}
+	if c.TotalCost() != 140 {
+		t.Fatalf("TotalCost = %d", c.TotalCost())
+	}
+	if got := c.MissLatencyHops(); got != 2.5 {
+		t.Fatalf("MissLatencyHops = %v", got)
+	}
+}
+
+func TestMissLatencyZeroMisses(t *testing.T) {
+	c := Counters{Queries: 10, Hits: 10}
+	if c.MissLatencyHops() != 0 {
+		t.Fatal("latency with zero misses should be 0")
+	}
+}
+
+func TestMissLatencySeconds(t *testing.T) {
+	c := Counters{MissLatencyTotal: 10, MissesServed: 4}
+	if got := c.MissLatencySeconds(); got != 2.5 {
+		t.Fatalf("MissLatencySeconds = %v", got)
+	}
+	if (&Counters{}).MissLatencySeconds() != 0 {
+		t.Fatal("zero served should be 0")
+	}
+}
+
+func TestJustifiedFraction(t *testing.T) {
+	c := Counters{JustifiedUpdates: 3, UnjustifiedUpdates: 1}
+	if got := c.JustifiedFraction(); got != 0.75 {
+		t.Fatalf("JustifiedFraction = %v", got)
+	}
+	if (&Counters{}).JustifiedFraction() != 0 {
+		t.Fatal("empty fraction should be 0")
+	}
+}
+
+func TestSavedMissRatio(t *testing.T) {
+	std := Counters{QueryHops: 500, ResponseHops: 500}
+	c := Counters{QueryHops: 100, ResponseHops: 100, UpdateHops: 100}
+	if got := c.SavedMissRatio(&std); got != 8 {
+		t.Fatalf("SavedMissRatio = %v, want 8", got)
+	}
+	noOverhead := Counters{}
+	if noOverhead.SavedMissRatio(&std) != 0 {
+		t.Fatal("zero overhead should yield 0 ratio")
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	c := Counters{Queries: 5, Hits: 3, QueryHops: 4, ResponseHops: 4}
+	s := c.String()
+	for _, want := range []string{"queries=5", "misses=2", "missCost=8"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := &Table{
+		Title:  "Demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("a", "1")
+	tb.AddRow("long-name", "22")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("render lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== Demo ==") {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Column two must start at the same offset in every data row.
+	h := strings.Index(lines[1], "value")
+	if strings.Index(lines[3], "1") != h {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableCaption(t *testing.T) {
+	tb := &Table{Header: []string{"x"}, Caption: "note"}
+	tb.AddRow("1")
+	if !strings.Contains(tb.Render(), "note") {
+		t.Fatal("caption missing")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		0.1234: "0.123",
+		1.5:    "1.50",
+		123.4:  "123",
+	}
+	for in, want := range cases {
+		if got := F(in); got != want {
+			t.Errorf("F(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if I(42) != "42" {
+		t.Fatalf("I(42) = %q", I(42))
+	}
+	if I(uint64(7)) != "7" {
+		t.Fatalf("I(uint64) = %q", I(uint64(7)))
+	}
+}
+
+// Property: cost identities hold for arbitrary counter values.
+func TestPropertyCostIdentities(t *testing.T) {
+	f := func(q, r, u, cb uint32) bool {
+		c := Counters{
+			QueryHops: uint64(q), ResponseHops: uint64(r),
+			UpdateHops: uint64(u), ClearBitHops: uint64(cb),
+		}
+		return c.TotalCost() == c.MissCost()+c.Overhead() &&
+			c.MissCost() == uint64(q)+uint64(r) &&
+			c.Overhead() == uint64(u)+uint64(cb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package netmodel provides per-hop latency models for the simulator —
+// the reproduction's stand-in for the Stanford Narses network simulator's
+// delay modeling. The paper's cost metrics are hop counts, but message
+// *timing* decides freshness-miss windows and coalescing opportunities, so
+// the latency model is a real experimental variable. Models are
+// deterministic functions of the link endpoints (seeded hashing), keeping
+// whole-simulation determinism.
+package netmodel
+
+import (
+	"math"
+
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+// Model yields the one-way latency of a message on the link from → to.
+// Implementations must be deterministic and safe for concurrent use.
+type Model interface {
+	Delay(from, to overlay.NodeID) sim.Duration
+}
+
+// Constant is a uniform per-hop delay — the default model.
+type Constant sim.Duration
+
+// Delay implements Model.
+func (c Constant) Delay(_, _ overlay.NodeID) sim.Duration { return sim.Duration(c) }
+
+// mix64 is a SplitMix64 step. Link latencies must be identical across
+// process runs (unlike hash/maphash seeds), so links are hashed with this
+// explicit mixer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// linkUnit is the cross-run-deterministic variant of linkHash.
+func linkUnit(seed uint64, a, b overlay.NodeID) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	v := mix64(seed ^ mix64(uint64(uint32(a))<<32|uint64(uint32(b))))
+	return float64(v>>11) / float64(1<<53)
+}
+
+// Uniform draws each link's latency uniformly from [Min, Max], fixed per
+// link by the seed.
+type Uniform struct {
+	Min, Max sim.Duration
+	Seed     uint64
+}
+
+// Delay implements Model.
+func (u Uniform) Delay(from, to overlay.NodeID) sim.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	f := linkUnit(u.Seed|1, from, to)
+	return u.Min + sim.Duration(f)*(u.Max-u.Min)
+}
+
+// TransitStub is a two-level Internet-like model: nodes belong to stub
+// domains; intra-stub links are fast, links crossing stubs pay a transit
+// penalty drawn per stub pair. This approximates the GT-ITM-style
+// topologies that flow-level simulators such as Narses model.
+type TransitStub struct {
+	// Stubs is the number of stub domains (nodes hash into them).
+	Stubs int
+	// Local is the intra-stub latency.
+	Local sim.Duration
+	// TransitMin/TransitMax bound the per-stub-pair transit latency.
+	TransitMin, TransitMax sim.Duration
+	// Seed fixes the stub assignment and transit draws.
+	Seed uint64
+}
+
+// stubOf assigns a node to a stub domain.
+func (t TransitStub) stubOf(n overlay.NodeID) int {
+	if t.Stubs <= 1 {
+		return 0
+	}
+	return int(mix64(t.Seed^uint64(uint32(n))) % uint64(t.Stubs))
+}
+
+// Delay implements Model.
+func (t TransitStub) Delay(from, to overlay.NodeID) sim.Duration {
+	sa, sb := t.stubOf(from), t.stubOf(to)
+	if sa == sb {
+		return t.Local
+	}
+	if sa > sb {
+		sa, sb = sb, sa
+	}
+	f := linkUnit(t.Seed^0xabcd, overlay.NodeID(sa), overlay.NodeID(sb))
+	return t.Local + t.TransitMin + sim.Duration(f)*(t.TransitMax-t.TransitMin)
+}
+
+// Positioned derives latency from virtual coordinates: delay = Base +
+// Scale × torus distance between the endpoints' positions. With CAN zone
+// centers as positions, overlay neighbors are physically close, which is
+// how Narses-style coordinate models behave.
+type Positioned struct {
+	Pos   []overlay.Point
+	Base  sim.Duration
+	Scale sim.Duration // latency per unit of distance
+}
+
+// Delay implements Model.
+func (p Positioned) Delay(from, to overlay.NodeID) sim.Duration {
+	a, b := p.Pos[from], p.Pos[to]
+	dx := math.Abs(a.X - b.X)
+	if dx > 0.5 {
+		dx = 1 - dx
+	}
+	dy := math.Abs(a.Y - b.Y)
+	if dy > 0.5 {
+		dy = 1 - dy
+	}
+	return p.Base + sim.Duration(math.Hypot(dx, dy))*p.Scale
+}

@@ -1,0 +1,172 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+func TestConstant(t *testing.T) {
+	m := Constant(0.25)
+	if m.Delay(1, 2) != 0.25 || m.Delay(9, 9) != 0.25 {
+		t.Fatal("constant model varies")
+	}
+}
+
+func TestUniformBoundsAndDeterminism(t *testing.T) {
+	m := Uniform{Min: 0.01, Max: 0.2, Seed: 7}
+	for a := overlay.NodeID(0); a < 40; a++ {
+		for b := overlay.NodeID(0); b < 40; b++ {
+			d := m.Delay(a, b)
+			if d < 0.01 || d > 0.2 {
+				t.Fatalf("Delay(%v,%v) = %v out of bounds", a, b, d)
+			}
+			if d != m.Delay(a, b) {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+}
+
+func TestUniformSymmetric(t *testing.T) {
+	m := Uniform{Min: 0.01, Max: 0.5, Seed: 3}
+	f := func(a, b uint16) bool {
+		x, y := overlay.NodeID(a), overlay.NodeID(b)
+		return m.Delay(x, y) == m.Delay(y, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformDegenerateRange(t *testing.T) {
+	m := Uniform{Min: 0.1, Max: 0.1}
+	if m.Delay(1, 2) != 0.1 {
+		t.Fatal("degenerate range broken")
+	}
+}
+
+func TestUniformVaries(t *testing.T) {
+	m := Uniform{Min: 0, Max: 1, Seed: 9}
+	seen := map[sim.Duration]bool{}
+	for i := overlay.NodeID(0); i < 50; i++ {
+		seen[m.Delay(0, i)] = true
+	}
+	if len(seen) < 25 {
+		t.Fatalf("only %d distinct latencies across 50 links", len(seen))
+	}
+}
+
+func TestUniformSeedChangesDraws(t *testing.T) {
+	a := Uniform{Min: 0, Max: 1, Seed: 1}
+	b := Uniform{Min: 0, Max: 1, Seed: 2}
+	same := 0
+	for i := overlay.NodeID(1); i < 100; i++ {
+		if a.Delay(0, i) == b.Delay(0, i) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d identical draws across seeds", same)
+	}
+}
+
+func TestTransitStubIntraVsInter(t *testing.T) {
+	m := TransitStub{Stubs: 4, Local: 0.005, TransitMin: 0.03, TransitMax: 0.12, Seed: 5}
+	intra, inter := 0, 0
+	for a := overlay.NodeID(0); a < 64; a++ {
+		for b := a + 1; b < 64; b++ {
+			d := m.Delay(a, b)
+			if m.stubOf(a) == m.stubOf(b) {
+				intra++
+				if d != 0.005 {
+					t.Fatalf("intra-stub delay = %v", d)
+				}
+			} else {
+				inter++
+				if d < 0.035 || d > 0.125 {
+					t.Fatalf("inter-stub delay = %v out of range", d)
+				}
+			}
+		}
+	}
+	if intra == 0 || inter == 0 {
+		t.Fatalf("degenerate stub assignment: intra=%d inter=%d", intra, inter)
+	}
+}
+
+func TestTransitStubSingleStub(t *testing.T) {
+	m := TransitStub{Stubs: 1, Local: 0.01, TransitMin: 1, TransitMax: 2}
+	if d := m.Delay(3, 9); d != 0.01 {
+		t.Fatalf("single stub delay = %v", d)
+	}
+}
+
+func TestTransitStubConsistentPairDelay(t *testing.T) {
+	m := TransitStub{Stubs: 8, Local: 0.005, TransitMin: 0.02, TransitMax: 0.1, Seed: 11}
+	// All links between the same stub pair share one transit latency.
+	type pair struct{ a, b int }
+	delays := map[pair]sim.Duration{}
+	for a := overlay.NodeID(0); a < 80; a++ {
+		for b := a + 1; b < 80; b++ {
+			sa, sb := m.stubOf(a), m.stubOf(b)
+			if sa == sb {
+				continue
+			}
+			if sa > sb {
+				sa, sb = sb, sa
+			}
+			p := pair{sa, sb}
+			d := m.Delay(a, b)
+			if prev, ok := delays[p]; ok && prev != d {
+				t.Fatalf("stub pair %v has two delays: %v vs %v", p, prev, d)
+			}
+			delays[p] = d
+		}
+	}
+}
+
+func TestPositionedDistanceScaling(t *testing.T) {
+	m := Positioned{
+		Pos:   []overlay.Point{{X: 0.1, Y: 0.1}, {X: 0.1, Y: 0.2}, {X: 0.6, Y: 0.6}},
+		Base:  0.001,
+		Scale: 1,
+	}
+	near := m.Delay(0, 1)
+	far := m.Delay(0, 2)
+	if near >= far {
+		t.Fatalf("near %v not below far %v", near, far)
+	}
+	if near < 0.001 {
+		t.Fatal("base latency missing")
+	}
+}
+
+func TestPositionedTorusWraparound(t *testing.T) {
+	m := Positioned{
+		Pos:   []overlay.Point{{X: 0.05, Y: 0.5}, {X: 0.95, Y: 0.5}},
+		Scale: 1,
+	}
+	// Across the seam the distance is 0.1, not 0.9.
+	if d := m.Delay(0, 1); d > 0.11 {
+		t.Fatalf("wraparound delay = %v, want ≈0.1", d)
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Neighboring inputs must produce very different outputs.
+	a, b := mix64(1), mix64(2)
+	if a == b {
+		t.Fatal("mix64 collision on adjacent inputs")
+	}
+	diff := a ^ b
+	bits := 0
+	for ; diff != 0; diff &= diff - 1 {
+		bits++
+	}
+	if bits < 16 {
+		t.Fatalf("only %d bits differ", bits)
+	}
+}

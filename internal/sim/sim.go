@@ -1,0 +1,229 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// It is the reproduction's substitute for the Stanford Narses simulator used
+// in the CUP paper: a virtual clock, a binary-heap event queue with stable
+// FIFO ordering for simultaneous events, and helpers for periodic processes.
+// All experiments in this repository are driven by a Scheduler; determinism
+// (same seed, same schedule, same results) is a hard requirement so that the
+// paper's tables regenerate reproducibly.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the start of the run.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration float64
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Infinity is a time later than every event in any simulation.
+const Infinity = Time(math.MaxFloat64)
+
+// EventID identifies a scheduled event so it can be cancelled.
+// The zero EventID is never issued.
+type EventID uint64
+
+// event is a single queue entry. seq breaks ties so that events scheduled
+// for the same instant fire in scheduling order (FIFO), which keeps the
+// simulation deterministic.
+type event struct {
+	at        Time
+	seq       uint64
+	id        EventID
+	fn        func()
+	cancelled bool
+	index     int // heap index
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a discrete-event scheduler. It is not safe for concurrent
+// use; the live runtime (internal/live) uses real goroutines instead.
+type Scheduler struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	nextID  EventID
+	live    map[EventID]*event
+	stopped bool
+	// Executed counts events that have fired (for progress reporting and
+	// runaway detection in tests).
+	Executed uint64
+	// MaxEvents aborts Run with ErrEventBudget when exceeded; zero means
+	// unlimited.
+	MaxEvents uint64
+}
+
+// ErrEventBudget is returned by Run variants when MaxEvents is exceeded.
+var ErrEventBudget = errors.New("sim: event budget exceeded")
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{live: make(map[EventID]*event)}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending reports the number of events still queued (including cancelled
+// entries not yet drained).
+func (s *Scheduler) Pending() int { return len(s.live) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (before
+// Now) is an error in a discrete-event simulation and panics: it always
+// indicates a protocol bug, never a recoverable condition.
+func (s *Scheduler) At(t Time, fn func()) EventID {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	s.seq++
+	s.nextID++
+	e := &event{at: t, seq: s.seq, id: s.nextID, fn: fn}
+	heap.Push(&s.queue, e)
+	s.live[e.id] = e
+	return e.id
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (s *Scheduler) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending. Cancelling an already-fired or unknown ID is a no-op.
+func (s *Scheduler) Cancel(id EventID) bool {
+	e, ok := s.live[id]
+	if !ok {
+		return false
+	}
+	e.cancelled = true
+	delete(s.live, id)
+	return true
+}
+
+// Step fires the next event. It reports false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.cancelled {
+			continue
+		}
+		delete(s.live, e.id)
+		s.now = e.at
+		s.Executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// peekTime returns the time of the next non-cancelled event, or Infinity.
+func (s *Scheduler) peekTime() Time {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].at
+	}
+	return Infinity
+}
+
+// Run executes events until the queue drains or the event budget is hit.
+func (s *Scheduler) Run() error {
+	for s.Step() {
+		if s.MaxEvents > 0 && s.Executed > s.MaxEvents {
+			return ErrEventBudget
+		}
+	}
+	return nil
+}
+
+// RunUntil executes events with time ≤ deadline, then advances the clock to
+// the deadline. Events scheduled after the deadline remain queued.
+func (s *Scheduler) RunUntil(deadline Time) error {
+	for {
+		next := s.peekTime()
+		if next > deadline {
+			break
+		}
+		s.Step()
+		if s.MaxEvents > 0 && s.Executed > s.MaxEvents {
+			return ErrEventBudget
+		}
+	}
+	if deadline > s.now && deadline != Infinity {
+		s.now = deadline
+	}
+	return nil
+}
+
+// Every schedules fn to run now+d, then every d seconds thereafter, until
+// the returned stop function is called or until (if until > 0) virtual time
+// passes until.
+func (s *Scheduler) Every(d Duration, until Time, fn func()) (stop func()) {
+	if d <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", d))
+	}
+	stopped := false
+	var rearm func()
+	rearm = func() {
+		next := s.now.Add(d)
+		if until > 0 && next > until {
+			return
+		}
+		s.At(next, func() {
+			if stopped {
+				return
+			}
+			fn()
+			rearm()
+		})
+	}
+	rearm()
+	return func() { stopped = true }
+}

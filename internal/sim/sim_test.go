@@ -1,0 +1,450 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerStartsAtZero(t *testing.T) {
+	s := NewScheduler()
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", s.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []Time
+	for _, at := range []Time{5, 1, 3, 2, 4} {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+	if s.Now() != 5 {
+		t.Fatalf("final Now() = %v, want 5", s.Now())
+	}
+}
+
+func TestSimultaneousEventsAreFIFO(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(7, func() { got = append(got, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := NewScheduler()
+	var fired Time
+	s.At(10, func() {
+		s.After(5, func() { fired = s.Now() })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 15 {
+		t.Fatalf("After fired at %v, want 15", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil event function did not panic")
+		}
+	}()
+	NewScheduler().At(1, nil)
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	NewScheduler().After(-1, func() {})
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	id := s.At(3, func() { ran = true })
+	if !s.Cancel(id) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if s.Cancel(id) {
+		t.Fatal("second Cancel returned true")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestCancelUnknownIDIsNoop(t *testing.T) {
+	s := NewScheduler()
+	if s.Cancel(EventID(999)) {
+		t.Fatal("Cancel of unknown ID returned true")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	if err := s.RunUntil(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", s.Now())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("after Run fired %d events, want 5", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	s := NewScheduler()
+	if err := s.RunUntil(42); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 42 {
+		t.Fatalf("Now() = %v, want 42", s.Now())
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	s := NewScheduler()
+	s.MaxEvents = 10
+	var rearm func()
+	rearm = func() { s.After(1, rearm) }
+	rearm()
+	if err := s.Run(); err != ErrEventBudget {
+		t.Fatalf("Run = %v, want ErrEventBudget", err)
+	}
+}
+
+func TestEverySchedulesPeriodically(t *testing.T) {
+	s := NewScheduler()
+	var ticks []Time
+	s.Every(10, 55, func() { ticks = append(ticks, s.Now()) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 20, 30, 40, 50}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestEveryStop(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	var stop func()
+	stop = s.Every(1, 0, func() {
+		n++
+		if n == 3 {
+			stop()
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("ticks = %d, want 3", n)
+	}
+}
+
+func TestEveryZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero period did not panic")
+		}
+	}()
+	NewScheduler().Every(0, 0, func() {})
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int {
+		s := NewScheduler()
+		r := NewRand(42)
+		var order []int
+		for i := 0; i < 200; i++ {
+			i := i
+			s.At(Time(r.Float64()*100), func() { order = append(order, i) })
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of (non-negative) times, Run fires events in
+// non-decreasing time order and fires them all.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := NewScheduler()
+		var fired []Time
+		for _, v := range raw {
+			at := Time(v)
+			s.At(at, func() { fired = append(fired, at) })
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pending reflects schedule/cancel/fire bookkeeping exactly.
+func TestPropertyPendingCount(t *testing.T) {
+	f := func(n uint8, cancels uint8) bool {
+		s := NewScheduler()
+		ids := make([]EventID, 0, n)
+		for i := 0; i < int(n); i++ {
+			ids = append(ids, s.At(Time(i), func() {}))
+		}
+		c := int(cancels)
+		if c > len(ids) {
+			c = len(ids)
+		}
+		for i := 0; i < c; i++ {
+			s.Cancel(ids[i])
+		}
+		return s.Pending() == int(n)-c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tm := Time(10).Add(Duration(5))
+	if tm != 15 {
+		t.Fatalf("Add = %v, want 15", tm)
+	}
+	if d := Time(15).Sub(Time(10)); d != 5 {
+		t.Fatalf("Sub = %v, want 5", d)
+	}
+	if Infinity <= Time(math.MaxFloat64/2) {
+		t.Fatal("Infinity is not large")
+	}
+}
+
+func TestExpDistribution(t *testing.T) {
+	r := NewRand(1)
+	const rate = 2.0
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		d := float64(r.Exp(rate))
+		if d < 0 {
+			t.Fatal("negative exponential sample")
+		}
+		sum += d
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("mean = %v, want ≈ %v", mean, 1/rate)
+	}
+}
+
+func TestExpInvalidRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exp(0) did not panic")
+		}
+	}()
+	NewRand(1).Exp(0)
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := NewRand(7)
+	if r.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", p)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(3)
+	z := r.NewZipf(1.2, 100)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}
+
+func TestZipfInvalidNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZipf(n=0) did not panic")
+		}
+	}()
+	NewRand(1).NewZipf(1.5, 0)
+}
+
+func TestPoissonArrivalsRateAndWindow(t *testing.T) {
+	s := NewScheduler()
+	r := NewRand(11)
+	count := 0
+	var first, last Time
+	PoissonArrivals(s, r, 10, 100, 1100, func() {
+		if count == 0 {
+			first = s.Now()
+		}
+		last = s.Now()
+		count++
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// expect ≈ rate * window = 10 * 1000 = 10000 arrivals
+	if count < 9000 || count > 11000 {
+		t.Fatalf("arrivals = %d, want ≈10000", count)
+	}
+	if first < 100 {
+		t.Fatalf("first arrival at %v, before window start", first)
+	}
+	if last > 1100 {
+		t.Fatalf("last arrival at %v, after window end", last)
+	}
+}
+
+func TestPoissonArrivalsZeroRate(t *testing.T) {
+	s := NewScheduler()
+	PoissonArrivals(s, NewRand(1), 0, 0, 100, func() { t.Fatal("arrival with zero rate") })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJitter(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 1000; i++ {
+		d := r.Jitter(100, 0.1)
+		if d < 90 || d > 110 {
+			t.Fatalf("Jitter out of band: %v", d)
+		}
+	}
+	if r.Jitter(100, 0) != 100 {
+		t.Fatal("Jitter with f=0 changed value")
+	}
+}
+
+func TestRound(t *testing.T) {
+	cases := map[float64]int{0.4: 0, 0.5: 1, 1.49: 1, 2.5: 3, -0.4: 0}
+	for in, want := range cases {
+		if got := Round(in); got != want {
+			t.Errorf("Round(%v) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := NewScheduler()
+	var rearm func()
+	n := 0
+	rearm = func() {
+		n++
+		if n < b.N {
+			s.After(1, rearm)
+		}
+	}
+	s.After(1, rearm)
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cup/internal/cache"
+	"cup/internal/cup"
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+func sampleUpdate() cup.Update {
+	return cup.Update{
+		Key:      "movies/inception",
+		Type:     cup.Refresh,
+		Replica:  3,
+		Depth:    7,
+		Expires:  1234.5,
+		Lifetime: 300,
+		QueryID:  0xdeadbeef,
+		Entries: []cache.Entry{
+			{Key: "movies/inception", Replica: 3, Addr: "198.51.100.7:443", Expires: 1234.5},
+			{Key: "movies/inception", Replica: 9, Addr: "203.0.113.9", Expires: 999},
+		},
+	}
+}
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	out, err := Unmarshal(Marshal(m))
+	if err != nil {
+		t.Fatalf("round trip of %T: %v", m, err)
+	}
+	return out
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	in := Query{From: 42, Key: "some/key", QueryID: 7}
+	if got := roundTrip(t, in); got != in {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	in := UpdateMsg{From: 17, Update: sampleUpdate()}
+	got := roundTrip(t, in).(UpdateMsg)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestUpdateNoEntriesRoundTrip(t *testing.T) {
+	in := UpdateMsg{From: 1, Update: cup.Update{Key: "k", Type: cup.Delete, Replica: 5, Expires: 10}}
+	got := roundTrip(t, in).(UpdateMsg)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestClearBitHelloRoundTrip(t *testing.T) {
+	if got := roundTrip(t, ClearBit{From: 9, Key: "k"}); got != (ClearBit{From: 9, Key: "k"}) {
+		t.Fatalf("clearbit: %+v", got)
+	}
+	if got := roundTrip(t, Hello{From: 3}); got != (Hello{From: 3}) {
+		t.Fatalf("hello: %+v", got)
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	if _, err := Unmarshal([]byte{99}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	b := Marshal(Hello{From: 1})
+	if _, err := Unmarshal(append(b, 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestTruncationRejectedEverywhere(t *testing.T) {
+	full := Marshal(UpdateMsg{From: 17, Update: sampleUpdate()})
+	for n := 0; n < len(full); n++ {
+		if _, err := Unmarshal(full[:n]); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+}
+
+func TestWriteReadFrame(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		Hello{From: 1},
+		Query{From: 2, Key: "k", QueryID: 3},
+		UpdateMsg{From: 4, Update: sampleUpdate()},
+		ClearBit{From: 5, Key: "k"},
+	}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("after drain: %v, want EOF", err)
+	}
+}
+
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	var hdr [4]byte
+	hdr[0] = 0xFF
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameShortPayload(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 10}) // claims 10 bytes
+	buf.Write([]byte{1, 2})        // delivers 2
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestOversizeStringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversize string did not panic")
+		}
+	}()
+	Marshal(Query{Key: overlay.Key(strings.Repeat("x", 70000))})
+}
+
+// Property: arbitrary queries and clear-bits survive a round trip.
+func TestPropertyQueryRoundTrip(t *testing.T) {
+	f := func(from int32, key string, qid uint64) bool {
+		if len(key) > 60000 {
+			key = key[:60000]
+		}
+		in := Query{From: overlay.NodeID(from), Key: overlay.Key(key), QueryID: qid}
+		out, err := Unmarshal(Marshal(in))
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary updates survive a round trip.
+func TestPropertyUpdateRoundTrip(t *testing.T) {
+	f := func(from int32, key string, ty uint8, replica int16, depth uint8,
+		exp, life float64, addrs []string) bool {
+		if len(key) > 1000 {
+			key = key[:1000]
+		}
+		u := cup.Update{
+			Key:      overlay.Key(key),
+			Type:     cup.UpdateType(ty % 4),
+			Replica:  int(replica),
+			Depth:    int(depth),
+			Expires:  sim.Time(exp),
+			Lifetime: sim.Duration(life),
+		}
+		for i, a := range addrs {
+			if len(a) > 1000 {
+				a = a[:1000]
+			}
+			u.Entries = append(u.Entries, cache.Entry{
+				Key: u.Key, Replica: i, Addr: a, Expires: sim.Time(exp),
+			})
+		}
+		in := UpdateMsg{From: overlay.NodeID(from), Update: u}
+		out, err := Unmarshal(Marshal(in))
+		return err == nil && reflect.DeepEqual(out, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random garbage never panics the decoder.
+func TestPropertyGarbageNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Error("decoder panicked")
+			}
+		}()
+		_, _ = Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFramesOverRealTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	want := UpdateMsg{From: 8, Update: sampleUpdate()}
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		done <- WriteFrame(conn, want)
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}

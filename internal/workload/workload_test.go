@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"testing"
+
+	"cup/internal/cup"
+	"cup/internal/sim"
+)
+
+func baseParams() cup.Params {
+	return cup.Params{
+		Nodes:         64,
+		QueryRate:     2,
+		QueryDuration: 1800,
+		Seed:          7,
+	}
+}
+
+func TestCapacityFaultDefaults(t *testing.T) {
+	f := CapacityFault{}.defaults()
+	if f.Fraction != 0.20 || f.Warmup != 300 || f.Down != 600 || f.Stabilize != 300 {
+		t.Fatalf("defaults = %+v", f)
+	}
+}
+
+func TestUpAndDownScheduleShape(t *testing.T) {
+	hooks := UpAndDown(CapacityFault{Capacity: 0.25, QueryDuration: 3000})
+	// Window [300, 3300], first down at 600, cycle 900: downs at 600,
+	// 1500, 2400, 3300(excluded) → 3 cycles × 2 hooks.
+	if len(hooks) != 6 {
+		t.Fatalf("hooks = %d, want 6", len(hooks))
+	}
+	if hooks[0].At != 600 || hooks[1].At != 1200 {
+		t.Fatalf("first cycle at %v/%v, want 600/1200", hooks[0].At, hooks[1].At)
+	}
+}
+
+func TestOnceDownAlwaysDownSingleHook(t *testing.T) {
+	hooks := OnceDownAlwaysDown(CapacityFault{Capacity: 0})
+	if len(hooks) != 1 || hooks[0].At != 600 {
+		t.Fatalf("hooks = %+v", hooks)
+	}
+}
+
+func TestUpAndDownRunsAndRecovers(t *testing.T) {
+	p := baseParams()
+	p.Hooks = UpAndDown(CapacityFault{
+		Capacity: 0, QueryDuration: p.QueryDuration,
+	})
+	s := cup.NewSimulation(p)
+	// After the run, every node must be back at full capacity (last
+	// recovery hook fires before the drain ends).
+	res := s.Run()
+	if res.Counters.Queries == 0 {
+		t.Fatal("no queries")
+	}
+	reduced := 0
+	for _, n := range s.Nodes {
+		if n.Capacity() >= 0 {
+			reduced++
+		}
+	}
+	if reduced != 0 {
+		t.Fatalf("%d nodes still reduced after Up-And-Down", reduced)
+	}
+}
+
+func TestOnceDownStaysDown(t *testing.T) {
+	p := baseParams()
+	p.Hooks = OnceDownAlwaysDown(CapacityFault{
+		Capacity: 0.5, QueryDuration: p.QueryDuration,
+	})
+	s := cup.NewSimulation(p)
+	s.Run()
+	reduced := 0
+	for _, n := range s.Nodes {
+		if n.Capacity() >= 0 {
+			reduced++
+		}
+	}
+	f := 0.20
+	want := int(f * 64)
+	if reduced != want {
+		t.Fatalf("reduced nodes = %d, want %d", reduced, want)
+	}
+}
+
+func TestReducedCapacityCostsLessOverheadThanFull(t *testing.T) {
+	full := cup.Run(baseParams())
+	p := baseParams()
+	p.Hooks = OnceDownAlwaysDown(CapacityFault{Capacity: 0, QueryDuration: p.QueryDuration})
+	down := cup.Run(p)
+	if down.Counters.UpdateHops >= full.Counters.UpdateHops {
+		t.Fatalf("capacity loss did not reduce update hops: %d vs %d",
+			down.Counters.UpdateHops, full.Counters.UpdateHops)
+	}
+}
+
+func TestFlashCrowdPostsQueries(t *testing.T) {
+	p := baseParams()
+	p.QueryRate = 0.001 // near-silent background
+	fc := FlashCrowd{At: 500, Rate: 50, Queries: 200}
+	p.Hooks = fc.Hooks()
+	res := cup.Run(p)
+	if res.Counters.Queries < 200 {
+		t.Fatalf("queries = %d, want ≥ 200", res.Counters.Queries)
+	}
+}
+
+func TestFlashCrowdCoalesces(t *testing.T) {
+	p := baseParams()
+	p.QueryRate = 0.001
+	p.HopDelay = 1 // slow network so the surge outruns the response
+	fc := FlashCrowd{At: 500, Rate: 500, Queries: 300}
+	p.Hooks = fc.Hooks()
+	res := cup.Run(p)
+	if res.Counters.Coalesced == 0 {
+		t.Fatal("flash crowd produced no coalescing")
+	}
+}
+
+func TestReplicaChurnAddsAndRemoves(t *testing.T) {
+	p := baseParams()
+	rc := ReplicaChurn{At: 400, Period: 200, Rounds: 5, Min: 1}
+	p.Hooks = rc.Hooks()
+	res := cup.Run(p)
+	// birth + 5 adds + 4 deletes + refreshes: at least 10 originations.
+	if res.Counters.UpdatesOriginated < 10 {
+		t.Fatalf("originated = %d, want ≥ 10", res.Counters.UpdatesOriginated)
+	}
+}
+
+func TestHooksComposable(t *testing.T) {
+	p := baseParams()
+	p.Hooks = append(
+		UpAndDown(CapacityFault{Capacity: 0.25, QueryDuration: p.QueryDuration}),
+		FlashCrowd{At: 700, Rate: 20, Queries: 50}.Hooks()...)
+	res := cup.Run(p)
+	if res.Counters.Queries == 0 {
+		t.Fatal("composed workload ran nothing")
+	}
+}
+
+func TestCapacityFaultSampleSize(t *testing.T) {
+	s := cup.NewSimulation(baseParams())
+	f := CapacityFault{Fraction: 0.5}.defaults()
+	if got := len(f.sample(s)); got != 32 {
+		t.Fatalf("sample = %d, want 32", got)
+	}
+	tiny := CapacityFault{Fraction: 0.001}.defaults()
+	if got := len(tiny.sample(s)); got != 1 {
+		t.Fatalf("tiny sample = %d, want 1 (floor)", got)
+	}
+}
+
+func TestScheduleRespectsQueryWindowEnd(t *testing.T) {
+	hooks := UpAndDown(CapacityFault{Capacity: 0.25, QueryStart: 300, QueryDuration: 900})
+	// Window ends at 1200; first down at 600, next would start at 1500 > 1200.
+	if len(hooks) != 2 {
+		t.Fatalf("hooks = %d, want 2", len(hooks))
+	}
+	last := hooks[len(hooks)-1].At
+	if last != sim.Time(1200) {
+		t.Fatalf("recovery at %v, want 1200", last)
+	}
+}
+
+func TestNodeChurnHooksRun(t *testing.T) {
+	p := baseParams()
+	p.Hooks = NodeChurn{At: 400, Period: 60, Rounds: 10}.Hooks()
+	res := cup.Run(p)
+	if res.Counters.Queries == 0 {
+		t.Fatal("no queries under node churn")
+	}
+}
+
+func TestNodeChurnKeepsCUPWinning(t *testing.T) {
+	p := baseParams()
+	p.Hooks = NodeChurn{At: 400, Period: 60, Rounds: 10}.Hooks()
+	churned := cup.Run(p)
+	pStd := baseParams()
+	pStd.Config = cup.Standard()
+	pStd.Hooks = NodeChurn{At: 400, Period: 60, Rounds: 10}.Hooks()
+	std := cup.Run(pStd)
+	if churned.Counters.TotalCost() >= std.Counters.TotalCost() {
+		t.Fatalf("CUP under churn (%d) lost to standard (%d)",
+			churned.Counters.TotalCost(), std.Counters.TotalCost())
+	}
+}
