@@ -7,9 +7,11 @@
 package cup_test
 
 import (
+	"fmt"
 	"testing"
 
 	"cup/internal/experiment"
+	"cup/internal/overlay"
 )
 
 // benchArtifact runs one experiment generator per iteration.
@@ -89,3 +91,39 @@ func BenchmarkAblationLatency(b *testing.B) { benchArtifact(b, "latency") }
 // BenchmarkAblationChurn measures CUP vs standard caching under §2.9
 // node joins and departures.
 func BenchmarkAblationChurn(b *testing.B) { benchArtifact(b, "churn") }
+
+// BenchmarkOverlayRouting measures raw routing cost (one PathTo walk per
+// iteration on a 1024-node overlay) for every registered substrate —
+// CAN, Chord, and Kademlia — so BENCH_*.json tracks per-overlay routing
+// cost side by side.
+func BenchmarkOverlayRouting(b *testing.B) {
+	const n = 1024
+	for _, kind := range overlay.Kinds() {
+		kind := kind
+		b.Run(kind, func(b *testing.B) {
+			ov := overlay.MustBuild(kind, n, 1)
+			keys := make([]overlay.Key, 256)
+			for i := range keys {
+				keys[i] = overlay.Key(fmt.Sprintf("bench-%d", i))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				overlay.PathTo(ov, overlay.NodeID(i%n), keys[i%len(keys)], 10*n+256)
+			}
+		})
+	}
+}
+
+// BenchmarkOverlayBuild measures construction cost per substrate at
+// 1024 nodes (the CAN's random joins, Chord's finger tables, Kademlia's
+// k-buckets).
+func BenchmarkOverlayBuild(b *testing.B) {
+	for _, kind := range overlay.Kinds() {
+		kind := kind
+		b.Run(kind, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				overlay.MustBuild(kind, 1024, int64(i+1))
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cup/internal/experiment"
+	"cup/internal/overlay"
 )
 
 func main() {
@@ -23,9 +24,15 @@ func main() {
 		exp  = flag.String("exp", "all", "experiment name or 'all'")
 		full = flag.Bool("full", false, "run at the paper's full scale")
 		seed = flag.Int64("seed", 1, "random seed")
+		ov   = flag.String("overlay", "", "substrate for all experiments ("+overlay.KindList()+"; default: the paper's CAN)")
 		list = flag.Bool("list", false, "list experiment names and exit")
 	)
 	flag.Parse()
+
+	if *ov != "" && !overlay.Registered(*ov) {
+		fmt.Fprintf(os.Stderr, "cupbench: unknown overlay %q (registered: %s)\n", *ov, overlay.KindList())
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, name := range experiment.Names() {
@@ -34,7 +41,7 @@ func main() {
 		return
 	}
 
-	sc := experiment.Scale{Full: *full, Seed: *seed}
+	sc := experiment.Scale{Full: *full, Seed: *seed, Overlay: *ov}
 	names := experiment.Names()
 	if *exp != "all" {
 		if _, ok := experiment.Registry[*exp]; !ok {

@@ -19,6 +19,7 @@ import (
 func main() {
 	var (
 		nodes    = flag.Int("nodes", 128, "number of goroutine peers")
+		overlayK = flag.String("overlay", "can", "overlay substrate: "+overlay.KindList())
 		keys     = flag.Int("keys", 4, "distinct keys")
 		replicas = flag.Int("replicas", 2, "replicas per key")
 		lookups  = flag.Int("lookups", 500, "lookups to issue")
@@ -27,7 +28,12 @@ func main() {
 	)
 	flag.Parse()
 
-	net := live.NewNetwork(live.Config{Nodes: *nodes, HopDelay: *hop, Seed: *seed})
+	if !overlay.Registered(*overlayK) {
+		fmt.Fprintf(os.Stderr, "cuplive: unknown overlay %q (registered: %s)\n", *overlayK, overlay.KindList())
+		os.Exit(2)
+	}
+
+	net := live.NewNetwork(live.Config{Nodes: *nodes, Overlay: *overlayK, HopDelay: *hop, Seed: *seed})
 	defer net.Close()
 
 	keyNames := make([]overlay.Key, *keys)

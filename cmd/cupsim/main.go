@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"cup/internal/cup"
+	"cup/internal/overlay"
 	"cup/internal/policy"
 	"cup/internal/sim"
 )
@@ -46,7 +47,7 @@ func parsePolicy(name string) (policy.Policy, error) {
 func main() {
 	var (
 		nodes     = flag.Int("nodes", 1024, "overlay size")
-		overlayK  = flag.String("overlay", "can", "overlay substrate: can|chord")
+		overlayK  = flag.String("overlay", "can", "overlay substrate: "+overlay.KindList())
 		keys      = flag.Int("keys", 1, "number of keys")
 		zipf      = flag.Float64("zipf", 0, "Zipf skew for key popularity (0 = uniform)")
 		replicas  = flag.Int("replicas", 1, "replicas per key")
@@ -61,6 +62,11 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
+
+	if !overlay.Registered(*overlayK) {
+		fmt.Fprintf(os.Stderr, "cupsim: unknown overlay %q (registered: %s)\n", *overlayK, overlay.KindList())
+		os.Exit(2)
+	}
 
 	cfg := cup.Defaults()
 	switch *mode {

@@ -1,10 +1,11 @@
 // Package cup is the public façade of this repository: a complete Go
 // implementation of CUP — Controlled Update Propagation in Peer-to-Peer
 // Networks (Roussopoulos & Baker) — together with the substrates its
-// evaluation needs: a discrete-event simulator, a 2-D CAN and a Chord
-// overlay, a TTL index-entry cache, incentive-based cut-off policies, the
-// standard-caching baseline, workload/fault generators, and a live
-// goroutine-per-node runtime.
+// evaluation needs: a discrete-event simulator, three structured overlays
+// (a 2-D CAN, a Chord ring, and a Kademlia XOR-metric table) behind a
+// pluggable registry keyed by Params.OverlayKind, a TTL index-entry
+// cache, incentive-based cut-off policies, the standard-caching baseline,
+// workload/fault generators, and a live goroutine-per-node runtime.
 //
 // Three entry points cover most uses:
 //

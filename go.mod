@@ -1,0 +1,3 @@
+module cup
+
+go 1.22

@@ -112,6 +112,13 @@ func (c *Network) Join(p overlay.Point) overlay.NodeID {
 	return id
 }
 
+// JoinRand joins at a uniformly random point drawn from rnd. This is the
+// uniform dynamic-overlay join hook; Join remains for callers that choose
+// the point.
+func (c *Network) JoinRand(rnd *sim.Rand) overlay.NodeID {
+	return c.Join(overlay.Point{X: rnd.Float64(), Y: rnd.Float64()})
+}
+
 // Leave removes node n, handing all its zones to the alive neighbor with
 // the smallest total volume (the paper's takeover rule: "a neighboring node
 // M takes over the departing node N's portion of the global index"). It

@@ -1,0 +1,15 @@
+package can
+
+import (
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+// The CAN self-registers with the overlay registry so drivers can build it
+// by name. Its zone layout depends on the random join points, so the seed
+// matters: identical seeds give identical tilings.
+func init() {
+	overlay.Register("can", func(n int, seed int64) overlay.Overlay {
+		return Build(n, sim.NewRand(seed))
+	})
+}

@@ -1,0 +1,12 @@
+package chord
+
+import "cup/internal/overlay"
+
+// Chord self-registers with the overlay registry. Ring positions come from
+// hashing deterministic node labels, so the seed is ignored: every build of
+// the same size is identical.
+func init() {
+	overlay.Register("chord", func(n int, _ int64) overlay.Overlay {
+		return Build(n)
+	})
+}

@@ -3,23 +3,56 @@ package cup
 import (
 	"fmt"
 
-	"cup/internal/can"
 	"cup/internal/overlay"
+	"cup/internal/sim"
 )
 
 // This file implements §2.9 — node arrivals and departures — for the
-// discrete-event driver. Churn is supported on the CAN overlay (zones
-// split on join and are absorbed by a neighbor on departure). On every
-// membership change the routing memo is invalidated, the affected nodes'
-// interest bit vectors are patched, and on departure the heir takes over
-// the departed node's portion of the global index (the paper's
+// discrete-event driver. Churn is supported on any substrate exposing the
+// dynamicOverlay capability below: the CAN (zones split on join and are
+// absorbed by a neighbor on departure) and Kademlia (buckets re-knit
+// around the changed membership). On every membership change the routing
+// memo is invalidated, the affected nodes' interest bit vectors are
+// patched, and on departure the departing node's portion of the global
+// index is handed over per key to its new authority (the paper's
 // hand-over alternative, which avoids restarting update propagation).
 
-// canNet returns the overlay as a mutable CAN, or nil when the run uses a
-// static substrate.
-func (s *Simulation) canNet() *can.Network {
-	c, _ := s.Ov.(*can.Network)
-	return c
+// dynamicOverlay is the churn capability: membership queries plus uniform
+// join/leave hooks. Any overlay implementing it — including future kinds
+// added through the registry — gets JoinNode/LeaveNode for free; a static
+// overlay (Chord) does not satisfy it.
+type dynamicOverlay interface {
+	overlay.Overlay
+	// Alive reports whether n is currently a member.
+	Alive(overlay.NodeID) bool
+	// JoinRand adds one node, drawing any placement randomness from rnd,
+	// and returns its dense ID (which must equal the previous size).
+	JoinRand(rnd *sim.Rand) overlay.NodeID
+	// Leave removes n and returns the heir that takes over its region.
+	Leave(n overlay.NodeID) overlay.NodeID
+}
+
+// dyn returns the overlay as a dynamic substrate, or nil when the run
+// uses a static one.
+func (s *Simulation) dyn() dynamicOverlay {
+	d, _ := s.Ov.(dynamicOverlay)
+	return d
+}
+
+// SupportsChurn reports whether this run's substrate handles JoinNode and
+// LeaveNode.
+func (s *Simulation) SupportsChurn() bool { return s.dyn() != nil }
+
+// ChurnCapable reports whether the named overlay kind supports §2.9
+// membership changes, by building a minimal instance from the registry
+// and probing the capability. Unknown kinds report false.
+func ChurnCapable(kind string) bool {
+	ov, err := overlay.Build(kind, 2, 1)
+	if err != nil {
+		return false
+	}
+	_, ok := ov.(dynamicOverlay)
+	return ok
 }
 
 // NodeAlive reports whether id is currently a member.
@@ -27,67 +60,100 @@ func (s *Simulation) NodeAlive(id overlay.NodeID) bool {
 	if int(id) < 0 || int(id) >= len(s.Nodes) {
 		return false
 	}
-	if c := s.canNet(); c != nil {
-		return c.Alive(id)
+	if d := s.dyn(); d != nil {
+		return d.Alive(id)
 	}
 	return true
 }
 
-// JoinNode adds a fresh node at a random point in the coordinate space
-// (§2.9 Arrivals): the owner of the point splits its zone, neighbor sets
-// are repaired, stale routes are dropped, and the affected nodes patch
-// their interest bit vectors. The new node's ID is returned.
+// JoinNode adds a fresh node (§2.9 Arrivals): the substrate wires it in
+// (zone split on the CAN, bucket insertion on Kademlia), stale routes are
+// dropped, previous owners hand over the index entries that now hash to
+// the joiner, and every node whose routing table changed patches its
+// interest bit vector. The new node's ID is returned.
 func (s *Simulation) JoinNode() overlay.NodeID {
-	c := s.canNet()
-	if c == nil {
-		panic("cup: JoinNode requires the CAN overlay")
+	d := s.dyn()
+	if d == nil {
+		panic(fmt.Sprintf("cup: JoinNode requires a dynamic overlay, have %q", s.P.OverlayKind))
 	}
 	s.Router.Dynamic = true
-	p := overlay.Point{X: s.Rng.Float64(), Y: s.Rng.Float64()}
-	prevOwner := c.OwnerOfPoint(p)
-	id := c.Join(p)
+	id := d.JoinRand(s.Rng)
 	s.Router.Invalidate()
 
 	node := NewNode(id, s.P.Config, s.Router, s.Sched.Now)
 	if int(id) != len(s.Nodes) {
-		panic(fmt.Sprintf("cup: CAN issued id %v, expected %d", id, len(s.Nodes)))
+		panic(fmt.Sprintf("cup: overlay issued id %v, expected %d", id, len(s.Nodes)))
 	}
 	s.Nodes = append(s.Nodes, node)
 
-	// The previous owner hands over the index entries that now hash into
-	// the joiner's zone (§2.9: "M could give a copy of its stored index
-	// entries to N").
-	s.handOverLocal(prevOwner, id)
-	s.patchNeighborhood(append([]overlay.NodeID{id, prevOwner}, c.Neighbors(id)...))
+	// Previous owners hand over the index entries that now hash into the
+	// joiner's region (§2.9: "M could give a copy of its stored index
+	// entries to N"). On the CAN only the split node holds such entries;
+	// in the XOR space they may come from several nodes. Only nodes with
+	// non-empty local directories (≈ one per key) pay the ownership
+	// checks, so the sweep is a cheap map-iteration for everyone else.
+	for m := range s.Nodes[:id] {
+		from := overlay.NodeID(m)
+		if s.NodeAlive(from) && s.Nodes[from].LocalDirectory().Len() > 0 {
+			s.handOverLocal(from, id)
+		}
+	}
+	// Patch everyone whose neighbor set changed: the joiner plus the
+	// nodes that now list it (covers asymmetric Kademlia buckets, where
+	// inserting the joiner may also evict a previous neighbor).
+	rev := s.reverseNeighbors()
+	s.patchNeighborhood(rev, append(rev[id], id))
 	return id
 }
 
-// LeaveNode removes a member (§2.9 Departures): a neighboring node takes
-// over its zones and its portion of the global index; interest bit
-// vectors in the neighborhood are patched; cached entries at other nodes
-// simply expire. The heir's ID is returned.
+// LeaveNode removes a member (§2.9 Departures): the departing node's
+// portion of the global index moves per key to the key's new authority —
+// on the CAN that is always the zone-absorbing heir, in the XOR space the
+// new closest node per key — interest bit vectors of every node that
+// routed through the victim are patched, and cached entries at other
+// nodes simply expire. The substrate's heir is returned.
 func (s *Simulation) LeaveNode(victim overlay.NodeID) overlay.NodeID {
-	c := s.canNet()
-	if c == nil {
-		panic("cup: LeaveNode requires the CAN overlay")
+	d := s.dyn()
+	if d == nil {
+		panic(fmt.Sprintf("cup: LeaveNode requires a dynamic overlay, have %q", s.P.OverlayKind))
 	}
-	if !c.Alive(victim) {
+	if !d.Alive(victim) {
 		panic(fmt.Sprintf("cup: LeaveNode of dead %v", victim))
 	}
 	s.Router.Dynamic = true
-	affected := append([]overlay.NodeID{}, c.Neighbors(victim)...)
-	heir := c.Leave(victim)
+	// Collect the victim's channel peers before the overlay re-knits: the
+	// nodes that list it (they routed through it) AND the nodes it listed
+	// (it queried them, so they hold its interest bits). Neighbor
+	// relations may be asymmetric (Kademlia buckets), so neither set
+	// alone is enough.
+	affected := append(s.reverseNeighbors()[victim], s.Ov.Neighbors(victim)...)
+	heir := d.Leave(victim)
 	s.Router.Invalidate()
-
-	// Graceful departure hands the local index directory to the heir and
-	// the heir merges it (duplicates eliminated by keyed storage).
-	s.handOverAll(victim, heir)
-	s.patchNeighborhood(append(affected, heir))
+	s.redistributeLocal(victim)
+	s.patchNeighborhood(s.reverseNeighbors(), append(affected, heir))
 	return heir
 }
 
-// handOverLocal moves the entries of from's local directory whose keys now
-// belong to to (after a zone split).
+// reverseNeighbors builds the reverse adjacency of the current overlay in
+// one sweep: for each node, the alive nodes that list it as a neighbor.
+// Churn handlers compute it once per membership event and share it, so
+// patching stays O(n·degree) per event rather than per patched node.
+func (s *Simulation) reverseNeighbors() map[overlay.NodeID][]overlay.NodeID {
+	rev := make(map[overlay.NodeID][]overlay.NodeID, len(s.Nodes))
+	for m := range s.Nodes {
+		mm := overlay.NodeID(m)
+		if !s.NodeAlive(mm) {
+			continue
+		}
+		for _, nb := range s.Ov.Neighbors(mm) {
+			rev[nb] = append(rev[nb], mm)
+		}
+	}
+	return rev
+}
+
+// handOverLocal moves the entries of from's local directory whose keys
+// now belong to to (after a membership change).
 func (s *Simulation) handOverLocal(from, to overlay.NodeID) {
 	dir := s.Nodes[from].LocalDirectory()
 	for _, k := range dir.Keys() {
@@ -101,10 +167,13 @@ func (s *Simulation) handOverLocal(from, to overlay.NodeID) {
 	}
 }
 
-// handOverAll moves every local entry from a departing node to its heir.
-func (s *Simulation) handOverAll(from, to overlay.NodeID) {
+// redistributeLocal moves every local entry of a departed node to its
+// key's current authority. On the CAN every key lands on the zone heir;
+// in the XOR space each key goes to its own new closest node.
+func (s *Simulation) redistributeLocal(from overlay.NodeID) {
 	dir := s.Nodes[from].LocalDirectory()
 	for _, k := range dir.Keys() {
+		to := s.Ov.Owner(k)
 		for _, e := range dir.All(k) {
 			s.Nodes[to].InstallLocal(e)
 		}
@@ -112,17 +181,23 @@ func (s *Simulation) handOverAll(from, to overlay.NodeID) {
 	}
 }
 
-// patchNeighborhood re-syncs interest bit vectors with current neighbor
-// sets for the affected nodes (§2.9: "the bit vector patching is a local
-// operation that affects only each individual node").
-func (s *Simulation) patchNeighborhood(nodes []overlay.NodeID) {
-	c := s.canNet()
+// patchNeighborhood re-syncs interest bit vectors with current channel
+// peers for the affected nodes (§2.9: "the bit vector patching is a local
+// operation that affects only each individual node"). A node's channel
+// peers are its own routing neighbors (it queries them) plus the nodes
+// that route through it per rev (they query it, so their interest bits
+// live here). The two sets coincide on symmetric overlays (CAN); on
+// Kademlia's directed buckets the union keeps live subscriptions from
+// asymmetric queriers from being patched away — PatchNeighbors drops
+// bits of any peer not listed.
+func (s *Simulation) patchNeighborhood(rev map[overlay.NodeID][]overlay.NodeID, nodes []overlay.NodeID) {
 	seen := make(map[overlay.NodeID]bool, len(nodes))
 	for _, id := range nodes {
-		if seen[id] || !c.Alive(id) {
+		if seen[id] || !s.NodeAlive(id) {
 			continue
 		}
 		seen[id] = true
-		s.Nodes[id].PatchNeighbors(c.Neighbors(id))
+		peers := append(append([]overlay.NodeID{}, s.Ov.Neighbors(id)...), rev[id]...)
+		s.Nodes[id].PatchNeighbors(peers)
 	}
 }

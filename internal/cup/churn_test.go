@@ -98,16 +98,84 @@ func (s *Simulation) aliveSample() overlay.NodeID {
 	}
 }
 
-func TestChurnRequiresCAN(t *testing.T) {
+func TestChurnCapableByKind(t *testing.T) {
+	for kind, want := range map[string]bool{
+		"can": true, "kademlia": true, "chord": false, "no-such-kind": false,
+	} {
+		if got := ChurnCapable(kind); got != want {
+			t.Errorf("ChurnCapable(%q) = %v, want %v", kind, got, want)
+		}
+	}
+}
+
+func TestChurnRequiresDynamicOverlay(t *testing.T) {
 	p := churnParams()
 	p.OverlayKind = "chord"
 	s := NewSimulation(p)
+	if s.SupportsChurn() {
+		t.Error("chord run claims to support churn")
+	}
 	defer func() {
 		if recover() == nil {
 			t.Error("JoinNode on chord did not panic")
 		}
 	}()
 	s.JoinNode()
+}
+
+func TestQueriesSurviveContinuousChurnOnKademlia(t *testing.T) {
+	p := churnParams()
+	p.OverlayKind = "kademlia"
+	s := NewSimulation(p)
+	if !s.SupportsChurn() {
+		t.Fatal("kademlia run does not support churn")
+	}
+	for i := 0; i < 12; i++ {
+		i := i
+		s.Sched.At(sim.Time(350+50*i), func() {
+			if i%2 == 0 {
+				s.JoinNode()
+			} else {
+				s.LeaveNode(s.aliveSample())
+			}
+		})
+	}
+	res := s.Run()
+	if res.Counters.Queries < 100 {
+		t.Fatalf("queries = %d", res.Counters.Queries)
+	}
+	if res.Counters.MissesServed == 0 {
+		t.Fatal("no misses served under churn")
+	}
+}
+
+func TestKademliaLeaveRedistributesAuthority(t *testing.T) {
+	p := churnParams()
+	p.OverlayKind = "kademlia"
+	s := NewSimulation(p)
+	k := s.Keys[0]
+	s.Sched.At(400, func() {
+		auth := s.Ov.Owner(k)
+		entriesBefore := s.Nodes[auth].LocalDirectory().Len()
+		if entriesBefore == 0 {
+			t.Error("authority had no local entries before leaving")
+		}
+		s.LeaveNode(auth)
+		if s.NodeAlive(auth) {
+			t.Error("departed node still alive")
+		}
+		newAuth := s.Ov.Owner(k)
+		if newAuth == auth {
+			t.Error("ownership did not move")
+		}
+		// Per-key redistribution: the key's entries now live at its new
+		// XOR-closest owner, so refreshes continue without re-propagation.
+		if s.Nodes[newAuth].LocalDirectory().Len() < entriesBefore {
+			t.Errorf("new authority holds %d entries, want ≥ %d",
+				s.Nodes[newAuth].LocalDirectory().Len(), entriesBefore)
+		}
+	})
+	s.Run()
 }
 
 func TestNodeAliveBounds(t *testing.T) {

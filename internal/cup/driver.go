@@ -4,11 +4,15 @@ import (
 	"fmt"
 
 	"cup/internal/cache"
-	"cup/internal/can"
-	"cup/internal/chord"
 	"cup/internal/metrics"
 	"cup/internal/overlay"
 	"cup/internal/sim"
+
+	// The overlay substrates self-register with the overlay registry;
+	// blank imports make every kind buildable via Params.OverlayKind.
+	_ "cup/internal/can"
+	_ "cup/internal/chord"
+	_ "cup/internal/kademlia"
 )
 
 // Params configures one simulated run, mirroring the paper's simulator
@@ -19,7 +23,9 @@ import (
 type Params struct {
 	// Nodes is the overlay size (the paper sweeps n = 2^k, k = 3..12).
 	Nodes int
-	// OverlayKind selects the substrate: "can" (default) or "chord".
+	// OverlayKind selects the substrate by its overlay-registry name:
+	// "can" (default), "chord", or "kademlia". Any kind registered with
+	// overlay.Register is accepted.
 	OverlayKind string
 	// Keys is the number of distinct keys queried (default 1; the paper's
 	// tables report per-key behavior).
@@ -184,14 +190,11 @@ func NewSimulation(p Params) *Simulation {
 	if s.P.PiggybackWindow == 0 {
 		s.P.PiggybackWindow = 1
 	}
-	switch p.OverlayKind {
-	case "can":
-		s.Ov = can.Build(p.Nodes, sim.NewRand(p.Seed+0x5eed))
-	case "chord":
-		s.Ov = chord.Build(p.Nodes)
-	default:
-		panic(fmt.Sprintf("cup: unknown overlay kind %q", p.OverlayKind))
+	ov, err := overlay.Build(p.OverlayKind, p.Nodes, p.Seed+0x5eed)
+	if err != nil {
+		panic(fmt.Sprintf("cup: %v", err))
 	}
+	s.Ov = ov
 	s.Router = NewOverlayRouter(s.Ov)
 	s.Nodes = make([]*Node, p.Nodes)
 	for i := range s.Nodes {

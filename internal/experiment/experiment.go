@@ -29,6 +29,10 @@ type Scale struct {
 	Full bool
 	// Seed varies the run deterministically.
 	Seed int64
+	// Overlay overrides the substrate for every experiment by its
+	// overlay-registry name ("can", "chord", "kademlia"); empty keeps the
+	// paper's CAN. The overlay ablation A1 sweeps all kinds regardless.
+	Overlay string
 }
 
 func (s Scale) seed() int64 {
@@ -68,6 +72,7 @@ func (s Scale) nodes(n int) int {
 func (s Scale) base(lambda float64) cup.Params {
 	return cup.Params{
 		Nodes:         1024,
+		OverlayKind:   s.Overlay,
 		QueryRate:     s.rate(lambda),
 		QueryDuration: s.duration(),
 		Seed:          s.seed(),

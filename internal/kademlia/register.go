@@ -1,0 +1,12 @@
+package kademlia
+
+import "cup/internal/overlay"
+
+// Kademlia self-registers with the overlay registry. Positions in the XOR
+// space come from hashing deterministic node labels, so the seed is
+// ignored: every build of the same size is identical.
+func init() {
+	overlay.Register("kademlia", func(n int, _ int64) overlay.Overlay {
+		return Build(n)
+	})
+}

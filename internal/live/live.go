@@ -76,6 +76,9 @@ type peer struct {
 type Config struct {
 	// Nodes is the overlay size.
 	Nodes int
+	// Overlay selects the routing substrate by its overlay-registry name:
+	// "can" (default), "chord", or "kademlia".
+	Overlay string
 	// HopDelay is the wall-clock per-hop latency (default 1ms).
 	HopDelay time.Duration
 	// Node is the per-node protocol configuration (default cup.Defaults()).
@@ -86,7 +89,8 @@ type Config struct {
 	InboxDepth int
 }
 
-// NewNetwork builds a CAN overlay of cfg.Nodes peers and starts one
+// NewNetwork builds an overlay of cfg.Nodes peers (a CAN unless
+// cfg.Overlay selects another registered substrate) and starts one
 // goroutine per peer. Callers must Close the network when done.
 func NewNetwork(cfg Config) *Network {
 	if cfg.Nodes <= 0 {
@@ -104,7 +108,10 @@ func NewNetwork(cfg Config) *Network {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	ov := canBuild(cfg.Nodes, cfg.Seed)
+	if cfg.Overlay == "" {
+		cfg.Overlay = "can"
+	}
+	ov := buildOverlay(cfg.Overlay, cfg.Nodes, cfg.Seed)
 	n := &Network{
 		ov:     ov,
 		router: cup.NewOverlayRouter(ov),

@@ -1,14 +1,19 @@
 package live
 
 import (
-	"cup/internal/can"
+	"fmt"
+
 	"cup/internal/overlay"
-	"cup/internal/sim"
 )
 
-// canBuild constructs the CAN substrate for a live network. Kept in its
-// own function so alternative substrates (chord.Build) can be swapped in
-// by tests.
-func canBuild(n int, seed int64) overlay.Overlay {
-	return can.Build(n, sim.NewRand(seed))
+// buildOverlay constructs the routing substrate for a live network from
+// the overlay registry (the substrates self-register; internal/cup, which
+// this package always imports, links every kind in). An unknown kind
+// panics with the registered kinds listed.
+func buildOverlay(kind string, n int, seed int64) overlay.Overlay {
+	ov, err := overlay.Build(kind, n, seed)
+	if err != nil {
+		panic(fmt.Sprintf("live: %v", err))
+	}
+	return ov
 }

@@ -60,7 +60,7 @@ func NewTCPNetwork(n int, seed int64, cfg cup.Config) (*TCPNetwork, error) {
 	if cfg.Policy == nil {
 		cfg = cup.Defaults()
 	}
-	ov := canBuild(n, seed)
+	ov := buildOverlay("can", n, seed)
 	tn := &TCPNetwork{
 		ov:     ov,
 		router: cup.NewOverlayRouter(ov),

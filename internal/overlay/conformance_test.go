@@ -1,0 +1,149 @@
+// Shared conformance suite for every overlay substrate: the properties the
+// CUP protocol core relies on (§2.2 of the paper) checked uniformly against
+// the CAN, Chord, and Kademlia via the overlay registry.
+package overlay_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cup/internal/overlay"
+
+	// Substrates under test self-register with the overlay registry.
+	_ "cup/internal/can"
+	_ "cup/internal/chord"
+	_ "cup/internal/kademlia"
+)
+
+// conformanceKinds lists the substrates the suite runs against, with the
+// per-kind contract variations. Symmetric neighbor sets are required only
+// of the CAN (zone abutment is symmetric); Chord fingers and Kademlia
+// buckets are directed.
+var conformanceKinds = []struct {
+	kind      string
+	symmetric bool
+}{
+	{"can", true},
+	{"chord", false},
+	{"kademlia", false},
+}
+
+// maxHops is a generous routing bound: CAN paths are O(√n), ring and XOR
+// paths O(log n); a loop would blow well past this and PathTo panics.
+func maxHops(n int) int { return 10*n + 256 }
+
+func TestConformanceKindsAreRegistered(t *testing.T) {
+	for _, c := range conformanceKinds {
+		if !overlay.Registered(c.kind) {
+			t.Errorf("kind %q not registered (registry has: %s)", c.kind, overlay.KindList())
+		}
+	}
+}
+
+// TestConformance runs the full contract per kind and size: deterministic
+// NextHop, Owner agreeing with the PathTo terminus from any start, bounded
+// hop counts, neighbor-set hygiene, and (where required) symmetry.
+func TestConformance(t *testing.T) {
+	for _, c := range conformanceKinds {
+		c := c
+		t.Run(c.kind, func(t *testing.T) {
+			for _, n := range []int{1, 2, 3, 33, 256} {
+				ov := overlay.MustBuild(c.kind, n, 42)
+				if ov.Size() != n {
+					t.Fatalf("n=%d: Size = %d", n, ov.Size())
+				}
+				checkRouting(t, ov, n)
+				checkNeighbors(t, ov, n, c.symmetric)
+			}
+		})
+	}
+}
+
+func checkRouting(t *testing.T, ov overlay.Overlay, n int) {
+	t.Helper()
+	starts := []overlay.NodeID{0, overlay.NodeID(n / 2), overlay.NodeID(n - 1)}
+	for i := 0; i < 40; i++ {
+		k := overlay.Key(fmt.Sprintf("conform-%d-%d", n, i))
+		owner := ov.Owner(k)
+		if ov.Owner(k) != owner {
+			t.Fatalf("n=%d key=%q: Owner not deterministic", n, k)
+		}
+		for _, start := range starts {
+			// Deterministic next hop: two calls agree.
+			h1, ok1 := ov.NextHop(start, k)
+			h2, ok2 := ov.NextHop(start, k)
+			if !ok1 || !ok2 || h1 != h2 {
+				t.Fatalf("n=%d key=%q: NextHop(%v) not deterministic: %v/%v %v/%v",
+					n, k, start, h1, ok1, h2, ok2)
+			}
+			// NextHop stays on the overlay graph: self (authority) or a
+			// current neighbor.
+			if h1 != start && !containsNode(ov.Neighbors(start), h1) {
+				t.Fatalf("n=%d key=%q: NextHop(%v) = %v is not a neighbor", n, k, start, h1)
+			}
+			// The walk terminates at the authority within the hop bound
+			// (PathTo panics past maxHops, enforcing boundedness).
+			path := overlay.PathTo(ov, start, k, maxHops(n))
+			if got := path[len(path)-1]; got != owner {
+				t.Fatalf("n=%d key=%q from %v: path ends at %v, owner %v", n, k, start, got, owner)
+			}
+			// The authority is a fixed point of routing.
+			if h, _ := ov.NextHop(owner, k); h != owner {
+				t.Fatalf("n=%d key=%q: authority %v forwards to %v", n, k, owner, h)
+			}
+		}
+	}
+}
+
+func checkNeighbors(t *testing.T, ov overlay.Overlay, n int, symmetric bool) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		id := overlay.NodeID(i)
+		nbrs := ov.Neighbors(id)
+		if n > 1 && len(nbrs) == 0 {
+			t.Fatalf("n=%d: %v has no neighbors", n, id)
+		}
+		for j, m := range nbrs {
+			if m == id {
+				t.Fatalf("n=%d: %v lists itself as neighbor", n, id)
+			}
+			if j > 0 && nbrs[j-1] >= m {
+				t.Fatalf("n=%d: neighbors of %v not sorted: %v", n, id, nbrs)
+			}
+			if symmetric && !containsNode(ov.Neighbors(m), id) {
+				t.Fatalf("n=%d: neighbor relation asymmetric: %v -> %v", n, id, m)
+			}
+		}
+	}
+}
+
+// TestConformanceRebuildIdentical: building the same kind with the same
+// size and seed twice yields identical routing — the determinism CUP's
+// reverse-path update trees require across process restarts.
+func TestConformanceRebuildIdentical(t *testing.T) {
+	for _, c := range conformanceKinds {
+		a := overlay.MustBuild(c.kind, 64, 7)
+		b := overlay.MustBuild(c.kind, 64, 7)
+		for i := 0; i < 60; i++ {
+			k := overlay.Key(fmt.Sprintf("rebuild-%d", i))
+			if a.Owner(k) != b.Owner(k) {
+				t.Fatalf("%s: owners differ across identical builds", c.kind)
+			}
+			id := overlay.NodeID(i % 64)
+			ha, _ := a.NextHop(id, k)
+			hb, _ := b.NextHop(id, k)
+			if ha != hb {
+				t.Fatalf("%s: next hops differ across identical builds", c.kind)
+			}
+		}
+	}
+}
+
+func containsNode(s []overlay.NodeID, n overlay.NodeID) bool {
+	for _, m := range s {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}

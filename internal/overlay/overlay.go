@@ -1,15 +1,17 @@
 // Package overlay defines the key space, node identity, and routing
 // abstraction shared by the structured peer-to-peer overlays in this
-// repository (the 2-D CAN in internal/can and the Chord ring in
-// internal/chord).
+// repository (the 2-D CAN in internal/can, the Chord ring in
+// internal/chord, and the Kademlia XOR table in internal/kademlia), plus
+// the registry (Register/Build/Kinds) that makes substrates pluggable by
+// name.
 //
 // CUP (§2.2 of the paper) assumes only that "anytime a node issues a query
 // for key K, the query will be routed along a well-defined structured path
 // with a bounded number of hops from the querying node to the authority node
 // for K", and that each hop is chosen deterministically by hashing K. The
 // Overlay interface captures exactly that contract, so the CUP protocol core
-// is overlay-agnostic — the ablation experiment A1 swaps CAN for Chord
-// without touching protocol code.
+// is overlay-agnostic — the ablation experiment A1 re-runs the evaluation
+// across every registered substrate without touching protocol code.
 package overlay
 
 import (
