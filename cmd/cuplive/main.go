@@ -1,7 +1,8 @@
 // Command cuplive runs an interactive-scale live CUP network (goroutine
-// per peer) and exercises it with a random lookup workload, printing a
-// short report. It demonstrates that the protocol driven by the
-// discrete-event experiments also runs as a real concurrent system.
+// per peer) through the unified cup.New deployment API and exercises it
+// with a random lookup workload, printing a short report. It demonstrates
+// that the protocol driven by the discrete-event experiments also runs as
+// a real concurrent system.
 package main
 
 import (
@@ -12,7 +13,7 @@ import (
 	"os"
 	"time"
 
-	"cup/internal/live"
+	"cup"
 	"cup/internal/overlay"
 )
 
@@ -28,33 +29,42 @@ func main() {
 	)
 	flag.Parse()
 
-	if !overlay.Registered(*overlayK) {
-		fmt.Fprintf(os.Stderr, "cuplive: unknown overlay %q (registered: %s)\n", *overlayK, overlay.KindList())
+	d, err := cup.New(
+		cup.WithTransport(cup.Live),
+		cup.WithNodes(*nodes),
+		cup.WithOverlay(*overlayK),
+		cup.WithHopDelay(*hop),
+		cup.WithSeed(*seed),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cuplive:", err)
 		os.Exit(2)
 	}
+	defer d.Close()
 
-	net := live.NewNetwork(live.Config{Nodes: *nodes, Overlay: *overlayK, HopDelay: *hop, Seed: *seed})
-	defer net.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
 
-	keyNames := make([]overlay.Key, *keys)
+	keyNames := make([]cup.Key, *keys)
 	for i := range keyNames {
-		keyNames[i] = overlay.Key(fmt.Sprintf("content-%d", i))
+		keyNames[i] = cup.Key(fmt.Sprintf("content-%d", i))
 		for r := 0; r < *replicas; r++ {
-			net.AddReplica(keyNames[i], r, fmt.Sprintf("203.0.113.%d", (i**replicas+r)%250+1), time.Hour)
+			addr := fmt.Sprintf("203.0.113.%d", (i**replicas+r)%250+1)
+			if err := d.Publish(ctx, keyNames[i], r, addr, time.Hour); err != nil {
+				fmt.Fprintln(os.Stderr, "cuplive: publish:", err)
+				os.Exit(1)
+			}
 		}
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
-	defer cancel()
-
 	start := time.Now()
 	var worst time.Duration
 	for i := 0; i < *lookups; i++ {
-		peer := overlay.NodeID(rng.Intn(*nodes))
+		peer := cup.NodeID(rng.Intn(*nodes))
 		key := keyNames[rng.Intn(len(keyNames))]
 		t0 := time.Now()
-		entries, err := net.Lookup(ctx, peer, key)
+		entries, err := d.LookupAt(ctx, peer, key)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cuplive: lookup:", err)
 			os.Exit(1)
@@ -68,11 +78,11 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
-	st := net.Stats()
+	c := d.Counters()
 	fmt.Printf("%d lookups on %d peers in %v (worst %v)\n",
 		*lookups, *nodes, elapsed.Round(time.Millisecond), worst.Round(time.Microsecond))
 	fmt.Printf("traffic: %d query msgs, %d update msgs, %d clear-bits\n",
-		st.QueryMsgs, st.UpdateMsgs, st.ClearBitMsgs)
+		c.QueryHops, c.UpdateHops, c.ClearBitHops)
 	fmt.Printf("amortized: %.2f query msgs per lookup (CUP caches absorbed the rest)\n",
-		float64(st.QueryMsgs)/float64(*lookups))
+		float64(c.QueryHops)/float64(*lookups))
 }

@@ -1,5 +1,6 @@
-// Command cupsim runs one CUP (or standard-caching) simulation and prints
-// the cost counters the paper reports. Examples:
+// Command cupsim runs one CUP (or standard-caching) simulation through
+// the unified cup.New deployment API and prints the cost counters the
+// paper reports. Examples:
 //
 //	cupsim -nodes 1024 -rate 1 -policy second-chance
 //	cupsim -nodes 1024 -rate 1000 -mode standard
@@ -7,16 +8,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
-	"cup/internal/cup"
+	"cup"
 	"cup/internal/overlay"
 	"cup/internal/policy"
-	"cup/internal/sim"
 )
 
 func parsePolicy(name string) (policy.Policy, error) {
@@ -63,9 +64,18 @@ func main() {
 	)
 	flag.Parse()
 
-	if !overlay.Registered(*overlayK) {
-		fmt.Fprintf(os.Stderr, "cupsim: unknown overlay %q (registered: %s)\n", *overlayK, overlay.KindList())
-		os.Exit(2)
+	opts := []cup.Option{
+		cup.WithTransport(cup.Simulated),
+		cup.WithNodes(*nodes),
+		cup.WithOverlay(*overlayK),
+		cup.WithKeys(*keys),
+		cup.WithZipf(*zipf),
+		cup.WithReplicas(*replicas),
+		cup.WithLifetime(cup.Seconds(*lifetime)),
+		cup.WithHopDelay(cup.Seconds(*hop)),
+		cup.WithQueryRate(*rate),
+		cup.WithQueryDuration(cup.Seconds(*duration)),
+		cup.WithSeed(*seed),
 	}
 
 	cfg := cup.Defaults()
@@ -85,20 +95,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cupsim: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+	opts = append(opts, cup.WithConfig(cfg))
 
-	res := cup.Run(cup.Params{
-		Nodes:         *nodes,
-		OverlayKind:   *overlayK,
-		Keys:          *keys,
-		ZipfSkew:      *zipf,
-		Replicas:      *replicas,
-		Lifetime:      sim.Duration(*lifetime),
-		HopDelay:      sim.Duration(*hop),
-		QueryRate:     *rate,
-		QueryDuration: sim.Duration(*duration),
-		Config:        cfg,
-		Seed:          *seed,
-	})
+	d, err := cup.New(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cupsim:", err)
+		os.Exit(2)
+	}
+	defer d.Close()
+
+	res, err := d.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cupsim:", err)
+		os.Exit(1)
+	}
 
 	c := &res.Counters
 	fmt.Printf("nodes=%d overlay=%s keys=%d replicas=%d λ=%g mode=%s policy=%s pushlevel=%d seed=%d\n",

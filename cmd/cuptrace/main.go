@@ -1,19 +1,50 @@
 // Command cuptrace renders the CUP tree of a key after a simulated
-// workload: which nodes subscribed (interest bits), their depths, cached
-// entry freshness, and popularity — the paper's Figure 2 made inspectable.
+// workload by consuming the deployment's event bus: which nodes
+// subscribed (interest bits), their depths, cached entry freshness,
+// popularity, and the per-node event traffic (queries issued/answered,
+// updates pushed, cut-offs) — the paper's Figure 2 made inspectable.
 //
 //	cuptrace -nodes 64 -rate 5 -duration 600
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 
-	"cup/internal/cup"
-	"cup/internal/overlay"
-	"cup/internal/sim"
+	"cup"
 )
+
+// tally accumulates per-node and network-wide event counts from the bus.
+type tally struct {
+	kinds  map[cup.EventKind]int
+	byNode map[cup.NodeID]*nodeTally
+}
+
+type nodeTally struct {
+	issued, answered, pushed, cutoffs int
+}
+
+func (t *tally) OnEvent(e cup.Event) {
+	t.kinds[e.Kind]++
+	nt := t.byNode[e.Node]
+	if nt == nil {
+		nt = &nodeTally{}
+		t.byNode[e.Node] = nt
+	}
+	switch e.Kind {
+	case cup.EvQueryIssued:
+		nt.issued++
+	case cup.EvQueryAnswered:
+		nt.answered++
+	case cup.EvUpdatePushed:
+		nt.pushed++
+	case cup.EvCutoffFired:
+		nt.cutoffs++
+	}
+}
 
 func main() {
 	var (
@@ -25,42 +56,72 @@ func main() {
 	)
 	flag.Parse()
 
-	s := cup.NewSimulation(cup.Params{
-		Nodes:         *nodes,
-		QueryRate:     *rate,
-		QueryDuration: sim.Duration(*duration),
-		Seed:          *seed,
-	})
-	res := s.Run()
-	k := s.Keys[0]
-	root := s.Ov.Owner(k)
+	tl := &tally{kinds: make(map[cup.EventKind]int), byNode: make(map[cup.NodeID]*nodeTally)}
+	d, err := cup.New(
+		cup.WithTransport(cup.Simulated),
+		cup.WithNodes(*nodes),
+		cup.WithQueryRate(*rate),
+		cup.WithQueryDuration(cup.Seconds(*duration)),
+		cup.WithSeed(*seed),
+		cup.WithObserver(tl),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cuptrace:", err)
+		os.Exit(2)
+	}
+	defer d.Close()
 
-	fmt.Printf("CUP tree for %q (authority %v) after %v\n", k, root, s.Sched.Now())
-	fmt.Printf("run: %s\n\n", res.Counters.String())
+	res, err := d.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cuptrace:", err)
+		os.Exit(1)
+	}
+	k := d.Keys()[0]
+	root := d.Authority(k)
 
-	// Breadth-first walk of the interest tree from the root.
+	fmt.Printf("CUP tree for %q (authority %v) after %v\n", k, root, d.Now())
+	fmt.Printf("run: %s\n", res.Counters.String())
+	fmt.Printf("events:")
+	for _, kind := range cup.EventKinds {
+		if n := tl.kinds[kind]; n > 0 {
+			fmt.Printf(" %s=%d", kind, n)
+		}
+	}
+	fmt.Println()
+	fmt.Println()
+
+	// Breadth-first walk of the interest tree from the root, annotated
+	// with each node's slice of the event stream.
 	type row struct {
-		id      overlay.NodeID
-		depth   int
-		pop     int
-		fresh   bool
-		entries int
+		id       cup.NodeID
+		depth    int
+		pop      int
+		fresh    bool
+		entries  int
+		children []cup.NodeID
+		ev       nodeTally
 	}
 	var rows []row
-	visited := map[overlay.NodeID]bool{root: true}
-	frontier := []overlay.NodeID{root}
+	visited := map[cup.NodeID]bool{root: true}
+	frontier := []cup.NodeID{root}
 	for depth := 0; len(frontier) > 0; depth++ {
-		var next []overlay.NodeID
+		var next []cup.NodeID
 		for _, id := range frontier {
-			n := s.Nodes[id]
-			rows = append(rows, row{
-				id:      id,
-				depth:   depth,
-				pop:     n.Popularity(k),
-				fresh:   n.HasFreshAnswer(k),
-				entries: n.CacheStore().Len() + n.LocalDirectory().Len(),
-			})
-			for _, child := range n.InterestedNeighbors(k) {
+			r := row{id: id, depth: depth}
+			if err := d.Inspect(id, func(n *cup.Node) {
+				r.pop = n.Popularity(k)
+				r.fresh = n.HasFreshAnswer(k)
+				r.entries = n.CacheStore().Len() + n.LocalDirectory().Len()
+				r.children = n.InterestedNeighbors(k)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "cuptrace:", err)
+				os.Exit(1)
+			}
+			if nt := tl.byNode[id]; nt != nil {
+				r.ev = *nt
+			}
+			rows = append(rows, r)
+			for _, child := range r.children {
 				if !visited[child] {
 					visited[child] = true
 					next = append(next, child)
@@ -71,7 +132,8 @@ func main() {
 		frontier = next
 	}
 
-	fmt.Printf("%-6s %-10s %-6s %-6s %s\n", "depth", "node", "pop", "fresh", "entries")
+	fmt.Printf("%-6s %-10s %-6s %-6s %-8s %-8s %-8s %-8s %s\n",
+		"depth", "node", "pop", "fresh", "queries", "answers", "pushes", "cutoffs", "entries")
 	for i, r := range rows {
 		if i >= *maxRows {
 			fmt.Printf("… %d more subscribed nodes\n", len(rows)-i)
@@ -80,7 +142,8 @@ func main() {
 		for d := 0; d < r.depth; d++ {
 			fmt.Print("  ")
 		}
-		fmt.Printf("%-6d %-10v %-6d %-6v %d\n", r.depth, r.id, r.pop, r.fresh, r.entries)
+		fmt.Printf("%-6d %-10v %-6d %-6v %-8d %-8d %-8d %-8d %d\n",
+			r.depth, r.id, r.pop, r.fresh, r.ev.issued, r.ev.answered, r.ev.pushed, r.ev.cutoffs, r.entries)
 	}
 	fmt.Printf("\nsubscribed nodes: %d of %d (tree coverage %.1f%%)\n",
 		len(rows), *nodes, 100*float64(len(rows))/float64(*nodes))

@@ -3,29 +3,61 @@
 // Networks (Roussopoulos & Baker) — together with the substrates its
 // evaluation needs: a discrete-event simulator, three structured overlays
 // (a 2-D CAN, a Chord ring, and a Kademlia XOR-metric table) behind a
-// pluggable registry keyed by Params.OverlayKind, a TTL index-entry
-// cache, incentive-based cut-off policies, the standard-caching baseline,
-// workload/fault generators, and a live goroutine-per-node runtime.
+// pluggable registry, a TTL index-entry cache, incentive-based cut-off
+// policies, the standard-caching baseline, workload/fault generators, and
+// a live goroutine-per-node runtime.
 //
-// Three entry points cover most uses:
+// # One construction path
 //
-//   - Run / NewSimulation: deterministic discrete-event experiments (the
-//     paper's evaluation; see internal/experiment and cmd/cupbench).
-//   - live.NewNetwork (cup/internal/live): CUP as a real concurrent
-//     system, one goroutine per peer, for applications and demos.
-//   - policy.*: the cut-off policies of §3.4, pluggable per node.
+// New builds a Deployment on either transport from the same functional
+// options; everything defaults to the paper's parameters:
+//
+//	d, err := cup.New(
+//	        cup.WithTransport(cup.Live),        // or cup.Simulated (default)
+//	        cup.WithOverlay("kademlia"),
+//	        cup.WithNodes(256),
+//	        cup.WithSeed(7),
+//	)
+//	defer d.Close()
+//
+// A Deployment exposes one application-facing client API regardless of
+// transport — Lookup/LookupAt, Publish/Unpublish, Subscribe/Events — and
+// one event stream (Event, Observer): query issued/answered, update
+// pushed, cut-off fired, node joined/left, emitted by the protocol core
+// itself so simulated and live runs are observable, and comparable,
+// through the same surface.
+//
+// The paper's evaluation drives the simulated transport's scripted
+// workload via Run:
+//
+//	d, err := cup.New(cup.WithQueryRate(10))
+//	res, err := d.Run(ctx)
+//
+// # Compatibility
+//
+// Run(Params) and NewSimulation(Params) remain as thin wrappers over the
+// discrete-event driver for existing callers; live.NewNetwork likewise
+// still exists underneath WithTransport(Live). New code should use New.
 //
 // The protocol core is a pure state machine (Node); both transports drive
 // the same code, so simulation results transfer to the live runtime.
 package cup
 
 import (
+	"cup/internal/cache"
 	internal "cup/internal/cup"
 	"cup/internal/metrics"
+	"cup/internal/overlay"
 )
 
 // Re-exported protocol types. See cup/internal/cup for full documentation.
 type (
+	// NodeID identifies a peer in the overlay.
+	NodeID = overlay.NodeID
+	// Key names a content item in the overlay key space.
+	Key = overlay.Key
+	// Entry is one index entry: a key served by a replica until expiry.
+	Entry = cache.Entry
 	// Node is the CUP protocol state machine for one peer.
 	Node = internal.Node
 	// Config parameterizes a node (mode, policy, push level, cut-off).
@@ -36,7 +68,8 @@ type (
 	UpdateType = internal.UpdateType
 	// Action is a side effect emitted by the state machine.
 	Action = internal.Action
-	// Params configures a discrete-event simulation run.
+	// Params configures a discrete-event simulation run (compatibility
+	// surface; New's options build it internally).
 	Params = internal.Params
 	// Result is a finished run's parameters and counters.
 	Result = internal.Result
@@ -48,6 +81,18 @@ type (
 	Counters = metrics.Counters
 	// Limiter is the §2.8 outgoing-update queue controller.
 	Limiter = internal.Limiter
+	// RefreshPolicy configures §3.6 authority-side refresh handling.
+	RefreshPolicy = internal.RefreshPolicy
+	// LatencyModel yields per-link one-way latencies (internal/netmodel).
+	LatencyModel = internal.LatencyModel
+	// Event is one observation from a running deployment.
+	Event = internal.Event
+	// EventKind classifies deployment events.
+	EventKind = internal.EventKind
+	// Observer receives deployment events.
+	Observer = internal.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = internal.ObserverFunc
 )
 
 // Update type constants (§2.4).
@@ -64,6 +109,19 @@ const (
 	ModeStandard = internal.ModeStandard
 )
 
+// Event kinds carried by the deployment event bus.
+const (
+	EvQueryIssued   = internal.EvQueryIssued
+	EvQueryAnswered = internal.EvQueryAnswered
+	EvUpdatePushed  = internal.EvUpdatePushed
+	EvCutoffFired   = internal.EvCutoffFired
+	EvNodeJoined    = internal.EvNodeJoined
+	EvNodeLeft      = internal.EvNodeLeft
+)
+
+// EventKinds lists every event kind in declaration order.
+var EventKinds = internal.EventKinds
+
 // UnlimitedPushLevel disables the sender-side push-level cap.
 const UnlimitedPushLevel = internal.UnlimitedPushLevel
 
@@ -74,12 +132,17 @@ func Defaults() Config { return internal.Defaults() }
 // Standard returns the expiration-based standard-caching baseline.
 func Standard() Config { return internal.Standard() }
 
-// Run builds and executes one simulation.
+// Run builds and executes one simulation (compatibility wrapper; New +
+// Deployment.Run is the primary path).
 func Run(p Params) *Result { return internal.Run(p) }
 
 // NewLimiter returns an empty §2.8 outgoing-update queue controller.
 func NewLimiter() *Limiter { return internal.NewLimiter() }
 
 // NewSimulation builds a simulation for manual driving (fault injection,
-// custom scheduling) before Run.
+// custom scheduling) before Run (compatibility wrapper).
 func NewSimulation(p Params) *Simulation { return internal.NewSimulation(p) }
+
+// ChurnCapable reports whether the named overlay kind supports §2.9
+// membership changes.
+func ChurnCapable(kind string) bool { return internal.ChurnCapable(kind) }

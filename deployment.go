@@ -1,0 +1,469 @@
+package cup
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	internal "cup/internal/cup"
+	"cup/internal/live"
+	"cup/internal/metrics"
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+// Runtime is the transport-agnostic execution substrate behind a
+// Deployment: the discrete-event simulator and the live goroutine
+// network implement it identically, so application code written against
+// it transfers between evaluation and deployment unchanged.
+type Runtime interface {
+	// Transport reports which substrate is executing.
+	Transport() Transport
+	// Size returns the number of peers in the overlay.
+	Size() int
+	// Authority returns the node owning key's index entries.
+	Authority(key Key) NodeID
+	// LookupAt posts a client query for key at node `at` and waits for
+	// the index entries (or ctx cancellation). On the simulator, waiting
+	// means driving the virtual clock.
+	LookupAt(ctx context.Context, at NodeID, key Key) ([]Entry, error)
+	// Publish registers (key, replica) served at addr with its authority
+	// and propagates the event down the interest tree — as an Append when
+	// refresh is false, as a lifetime-extending Refresh otherwise.
+	Publish(ctx context.Context, key Key, replica int, addr string, lifetime time.Duration, refresh bool) error
+	// Unpublish deletes (key, replica) at the authority and propagates a
+	// Delete so caches stop serving the dead replica.
+	Unpublish(ctx context.Context, key Key, replica int) error
+	// SetCapacity adjusts a node's outgoing update capacity fraction
+	// (§3.7); negative restores full capacity.
+	SetCapacity(ctx context.Context, id NodeID, c float64) error
+	// Inspect runs fn with exclusive access to one node's protocol state.
+	Inspect(id NodeID, fn func(*Node)) error
+	// Settle blocks until the deployment quiesces: the simulator drains
+	// its event queue, the live network waits for in-flight traffic to
+	// stop.
+	Settle(ctx context.Context) error
+	// Counters snapshots the run's cost counters. The simulator reports
+	// the paper's full accounting; the live network reports message
+	// counts folded into the hop fields (one message = one hop).
+	Counters() Counters
+	// Close releases the substrate. Further client calls fail.
+	Close() error
+}
+
+// Deployment is a running CUP system built by New: a Runtime plus the
+// shared event bus and the application-facing client API. One Deployment
+// abstraction covers both the paper's evaluation harness and a live
+// service.
+type Deployment struct {
+	rt  Runtime
+	bus *internal.Bus
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	published map[pubKey]bool
+	detach    []func()
+	closed    bool
+}
+
+type pubKey struct {
+	key     Key
+	replica int
+}
+
+// New builds a deployment from functional options: one construction path
+// for both transports.
+//
+//	d, err := cup.New(cup.WithTransport(cup.Live), cup.WithOverlay("kademlia"), cup.WithNodes(256))
+//
+// Unset knobs use the paper's defaults (1024-node CAN, 300 s lifetimes,
+// seed 1, ...) from the shared defaults table. Callers must Close the
+// deployment when done.
+func New(opts ...Option) (*Deployment, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	o.p = o.p.WithDefaults()
+	if !overlay.Registered(o.p.OverlayKind) {
+		return nil, fmt.Errorf("cup: unknown overlay %q (registered: %s)", o.p.OverlayKind, overlay.KindList())
+	}
+	if o.p.Nodes <= 0 {
+		return nil, fmt.Errorf("cup: node count %d must be positive", o.p.Nodes)
+	}
+
+	bus := internal.NewBus()
+	d := &Deployment{
+		bus:       bus,
+		rng:       rand.New(rand.NewSource(o.p.Seed)),
+		published: make(map[pubKey]bool),
+	}
+	for _, obs := range o.observers {
+		d.detach = append(d.detach, bus.Attach(obs))
+	}
+	// The bus is the node observer on both transports; a user observer
+	// supplied through the compatibility Params.Observer field still
+	// reaches it as an attached tap.
+	if o.p.Observer != nil {
+		d.detach = append(d.detach, bus.Attach(o.p.Observer))
+	}
+	o.p.Observer = bus
+
+	switch o.transport {
+	case Simulated:
+		d.rt = &simRuntime{s: internal.NewSimulation(o.p)}
+	case Live:
+		hop := o.liveHop
+		if hop == 0 {
+			hop = internal.DefaultLiveHopDelay
+		}
+		d.rt = &liveRuntime{net: live.NewNetwork(live.Config{
+			Nodes:      o.p.Nodes,
+			Overlay:    o.p.OverlayKind,
+			HopDelay:   hop,
+			Node:       o.p.Config,
+			Seed:       o.p.Seed,
+			InboxDepth: o.inboxDepth,
+			Observer:   bus,
+		})}
+	default:
+		return nil, fmt.Errorf("cup: unknown transport %d", int(o.transport))
+	}
+	return d, nil
+}
+
+// Runtime exposes the underlying transport substrate.
+func (d *Deployment) Runtime() Runtime { return d.rt }
+
+// Transport reports which substrate executes this deployment.
+func (d *Deployment) Transport() Transport { return d.rt.Transport() }
+
+// Size returns the number of peers.
+func (d *Deployment) Size() int { return d.rt.Size() }
+
+// Authority returns the node owning key's index entries.
+func (d *Deployment) Authority(key Key) NodeID { return d.rt.Authority(key) }
+
+// Counters snapshots the deployment's cost counters (see
+// Runtime.Counters for the live transport's approximation).
+func (d *Deployment) Counters() Counters { return d.rt.Counters() }
+
+// Lookup resolves key from a deterministically random peer — the
+// client's entry point is arbitrary in a P2P network. Use LookupAt to
+// pick the peer.
+func (d *Deployment) Lookup(ctx context.Context, key Key) ([]Entry, error) {
+	d.mu.Lock()
+	at := NodeID(d.rng.Intn(d.rt.Size()))
+	d.mu.Unlock()
+	return d.rt.LookupAt(ctx, at, key)
+}
+
+// LookupAt posts a client query for key at node `at` and waits for the
+// index entries, honoring ctx cancellation on both transports.
+func (d *Deployment) LookupAt(ctx context.Context, at NodeID, key Key) ([]Entry, error) {
+	return d.rt.LookupAt(ctx, at, key)
+}
+
+// Publish registers (key, replica) served at addr: an Append update on
+// first publication, a lifetime-extending Refresh on re-publication.
+// Replicas should re-Publish before lifetime elapses.
+func (d *Deployment) Publish(ctx context.Context, key Key, replica int, addr string, lifetime time.Duration) error {
+	pk := pubKey{key, replica}
+	d.mu.Lock()
+	refresh := d.published[pk]
+	d.mu.Unlock()
+	if err := d.rt.Publish(ctx, key, replica, addr, lifetime, refresh); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.published[pk] = true
+	d.mu.Unlock()
+	return nil
+}
+
+// Unpublish deletes (key, replica) and propagates the Delete.
+func (d *Deployment) Unpublish(ctx context.Context, key Key, replica int) error {
+	if err := d.rt.Unpublish(ctx, key, replica); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	delete(d.published, pubKey{key, replica})
+	d.mu.Unlock()
+	return nil
+}
+
+// SetCapacity adjusts a node's outgoing update capacity fraction (§3.7).
+func (d *Deployment) SetCapacity(ctx context.Context, id NodeID, c float64) error {
+	return d.rt.SetCapacity(ctx, id, c)
+}
+
+// Inspect runs fn with exclusive access to one node's protocol state
+// (on the live transport, on that peer's goroutine).
+func (d *Deployment) Inspect(id NodeID, fn func(*Node)) error {
+	return d.rt.Inspect(id, fn)
+}
+
+// Settle blocks until the deployment quiesces (no in-flight traffic).
+func (d *Deployment) Settle(ctx context.Context) error { return d.rt.Settle(ctx) }
+
+// Observe attaches a synchronous observer to the event bus; the returned
+// function detaches it. Live-transport observers are called from peer
+// goroutines concurrently and must be safe for concurrent use. Observers
+// run inside the emitting transport and must not call back into the
+// Deployment; consume events through Events/Subscribe channels when the
+// handler needs the client API.
+func (d *Deployment) Observe(obs Observer) (detach func()) { return d.bus.Attach(obs) }
+
+// Events returns a buffered channel carrying every deployment event and
+// a cancel function that closes it. Events arriving while the buffer is
+// full are dropped for this subscriber (see EventsDropped); on the
+// synchronous simulator prefer Observe, which never drops.
+func (d *Deployment) Events() (<-chan Event, func()) {
+	return d.bus.Subscribe(0, nil)
+}
+
+// Subscribe is Events filtered to one key.
+func (d *Deployment) Subscribe(key Key) (<-chan Event, func()) {
+	return d.bus.Subscribe(0, func(e Event) bool { return e.Key == key })
+}
+
+// EventsDropped counts events discarded because a subscriber's buffer
+// was full.
+func (d *Deployment) EventsDropped() uint64 { return d.bus.Dropped() }
+
+// Run executes the scripted workload to completion and returns the
+// aggregated result. Only the simulated transport has a scripted
+// workload; live deployments are interactive (Lookup/Publish) and Run
+// returns an error.
+func (d *Deployment) Run(ctx context.Context) (*Result, error) {
+	sr, ok := d.rt.(*simRuntime)
+	if !ok {
+		return nil, fmt.Errorf("cup: Run needs the simulated transport; live deployments are driven through Lookup/Publish")
+	}
+	return sr.run(ctx)
+}
+
+// Keys lists the scripted workload's keys on the simulated transport
+// (nil on live deployments, which name their own keys via Publish).
+func (d *Deployment) Keys() []Key {
+	if sr, ok := d.rt.(*simRuntime); ok {
+		return append([]Key(nil), sr.s.Keys...)
+	}
+	return nil
+}
+
+// Now returns the deployment clock: virtual seconds on the simulator,
+// wall-clock seconds since start on the live network.
+func (d *Deployment) Now() sim.Time {
+	switch rt := d.rt.(type) {
+	case *simRuntime:
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		return rt.s.Sched.Now()
+	case *liveRuntime:
+		return rt.net.Now()
+	default:
+		return 0
+	}
+}
+
+// Close shuts the deployment down, detaches its observers, and closes
+// every Events/Subscribe channel so consumers ranging over them
+// terminate.
+func (d *Deployment) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	detach := d.detach
+	d.detach = nil
+	d.mu.Unlock()
+	for _, f := range detach {
+		f()
+	}
+	err := d.rt.Close()
+	d.bus.CloseSubscribers()
+	return err
+}
+
+// simRuntime executes a deployment on the discrete-event scheduler. All
+// methods serialize on one mutex: the scheduler is single-threaded by
+// design, and client calls drive it directly.
+type simRuntime struct {
+	mu sync.Mutex
+	s  *internal.Simulation
+}
+
+func (r *simRuntime) Transport() Transport { return Simulated }
+
+func (r *simRuntime) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.s.Nodes)
+}
+
+func (r *simRuntime) Authority(key Key) NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.s.Ov.Owner(key)
+}
+
+func (r *simRuntime) LookupAt(ctx context.Context, at NodeID, key Key) ([]Entry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.s.Lookup(ctx, at, key)
+}
+
+func (r *simRuntime) Publish(ctx context.Context, key Key, replica int, addr string, lifetime time.Duration, refresh bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ty := Append
+	if refresh {
+		ty = Refresh
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.s.PublishReplica(key, replica, addr, sim.Duration(lifetime.Seconds()), ty)
+	return nil
+}
+
+func (r *simRuntime) Unpublish(ctx context.Context, key Key, replica int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.s.RemoveReplica(key, replica)
+	return nil
+}
+
+func (r *simRuntime) SetCapacity(ctx context.Context, id NodeID, c float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.s.SetCapacityFraction([]NodeID{id}, c)
+	return nil
+}
+
+func (r *simRuntime) Inspect(id NodeID, fn func(*Node)) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(r.s.Nodes) {
+		return fmt.Errorf("cup: inspect of unknown node %v", id)
+	}
+	fn(r.s.Nodes[id])
+	return nil
+}
+
+func (r *simRuntime) Settle(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.s.Settle(ctx)
+}
+
+func (r *simRuntime) Counters() Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.s.C
+}
+
+func (r *simRuntime) Close() error { return nil }
+
+func (r *simRuntime) run(ctx context.Context) (*Result, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.s.RunContext(ctx)
+}
+
+// liveRuntime executes a deployment on the goroutine-per-peer network.
+type liveRuntime struct {
+	net *live.Network
+}
+
+func (r *liveRuntime) Transport() Transport { return Live }
+
+func (r *liveRuntime) Size() int { return r.net.Size() }
+
+func (r *liveRuntime) Authority(key Key) NodeID { return r.net.Authority(key) }
+
+func (r *liveRuntime) LookupAt(ctx context.Context, at NodeID, key Key) ([]Entry, error) {
+	return r.net.Lookup(ctx, at, key)
+}
+
+func (r *liveRuntime) Publish(ctx context.Context, key Key, replica int, addr string, lifetime time.Duration, refresh bool) error {
+	if refresh {
+		return r.net.RefreshCtx(ctx, key, replica, addr, lifetime)
+	}
+	return r.net.AddReplicaCtx(ctx, key, replica, addr, lifetime)
+}
+
+func (r *liveRuntime) Unpublish(ctx context.Context, key Key, replica int) error {
+	return r.net.RemoveReplicaCtx(ctx, key, replica)
+}
+
+func (r *liveRuntime) SetCapacity(ctx context.Context, id NodeID, c float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r.net.SetCapacity(id, c)
+	return nil
+}
+
+func (r *liveRuntime) Inspect(id NodeID, fn func(*Node)) error {
+	if id < 0 || int(id) >= r.net.Size() {
+		return fmt.Errorf("cup: inspect of unknown node %v", id)
+	}
+	r.net.Inspect(id, fn)
+	return nil
+}
+
+// Settle polls the traffic counters until two consecutive probe windows
+// see no new messages. Messages are counted at send time but sleep one
+// hop delay in flight before delivery can trigger further sends, so the
+// probe window must exceed the hop delay or in-flight traffic would be
+// invisible to it.
+func (r *liveRuntime) Settle(ctx context.Context) error {
+	window := 2 * r.net.HopDelay()
+	if window < 15*time.Millisecond {
+		window = 15 * time.Millisecond
+	}
+	for quiet := 0; quiet < 2; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if r.net.IsClosed() {
+			return live.ErrClosed
+		}
+		if r.net.Quiesced(window) {
+			quiet++
+		} else {
+			quiet = 0
+		}
+	}
+	return nil
+}
+
+// Counters folds the live network's message counts into the hop-count
+// fields (one message = one hop): queries into QueryHops, updates into
+// UpdateHops, clear-bits into ClearBitHops. The per-query hit/miss
+// taxonomy is a simulator-side measurement and stays zero here.
+func (r *liveRuntime) Counters() Counters {
+	st := r.net.Stats()
+	return metrics.Counters{
+		QueryHops:    st.QueryMsgs,
+		UpdateHops:   st.UpdateMsgs,
+		ClearBitHops: st.ClearBitMsgs,
+	}
+}
+
+func (r *liveRuntime) Close() error {
+	r.net.Close()
+	return nil
+}

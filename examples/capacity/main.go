@@ -6,36 +6,47 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"cup"
 	"cup/internal/workload"
 )
 
 func main() {
-	base := cup.Params{
-		Nodes:         512,
-		QueryRate:     20,
-		QueryDuration: 1200,
-		Seed:          11,
+	base := []cup.Option{
+		cup.WithNodes(512),
+		cup.WithQueryRate(20),
+		cup.WithQueryDuration(1200 * time.Second),
+		cup.WithSeed(11),
 	}
 
-	pStd := base
-	pStd.Config = cup.Standard()
-	std := cup.Run(pStd).Counters.TotalCost()
+	run := func(extra ...cup.Option) *cup.Result {
+		d, err := cup.New(append(append([]cup.Option{}, base...), extra...)...)
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		res, err := d.Run(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		return res
+	}
+
+	std := run(cup.WithStandardCaching()).Counters.TotalCost()
 
 	fmt.Println("Once-Down-Always-Down: 20% of nodes at reduced outgoing capacity")
 	fmt.Printf("standard caching baseline: %d hops total\n\n", std)
 	fmt.Printf("%-10s %14s %12s\n", "capacity", "CUP total", "vs standard")
 	for _, c := range []float64{1, 0.75, 0.5, 0.25, 0} {
-		p := base
-		p.Config = cup.Defaults()
-		p.Hooks = workload.OnceDownAlwaysDown(workload.CapacityFault{
+		hooks := workload.OnceDownAlwaysDown(workload.CapacityFault{
 			Capacity:      c,
 			QueryStart:    300,
-			QueryDuration: p.QueryDuration,
+			QueryDuration: 1200,
 		})
-		total := cup.Run(p).Counters.TotalCost()
+		total := run(cup.WithHooks(hooks...)).Counters.TotalCost()
 		fmt.Printf("%-10.2f %14d %11.2fx\n", c, total, float64(total)/float64(std))
 	}
 	fmt.Println("\nEven at capacity 0, CUP outperforms standard caching: downstream")

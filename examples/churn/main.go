@@ -6,7 +6,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"cup"
 	"cup/internal/sim"
@@ -14,27 +16,34 @@ import (
 )
 
 func main() {
-	base := cup.Params{
-		Nodes:         256,
-		QueryRate:     10,
-		QueryDuration: 1200,
-		Seed:          23,
-	}
-
-	run := func(cfg cup.Config, rounds int) *cup.Result {
-		p := base
-		p.Config = cfg
-		if rounds > 0 {
-			p.Hooks = workload.NodeChurn{At: 350, Period: sim.Duration(1200 / float64(rounds+1)), Rounds: rounds}.Hooks()
+	run := func(rounds int, extra ...cup.Option) *cup.Result {
+		opts := []cup.Option{
+			cup.WithNodes(256),
+			cup.WithQueryRate(10),
+			cup.WithQueryDuration(1200 * time.Second),
+			cup.WithSeed(23),
 		}
-		return cup.Run(p)
+		if rounds > 0 {
+			churn := workload.NodeChurn{At: 350, Period: sim.Duration(1200 / float64(rounds+1)), Rounds: rounds}
+			opts = append(opts, cup.WithHooks(churn.Hooks()...))
+		}
+		d, err := cup.New(append(opts, extra...)...)
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		res, err := d.Run(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		return res
 	}
 
 	fmt.Println("Continuous membership churn on a 256-node CAN, λ=10 q/s")
 	fmt.Printf("%-14s %12s %12s %10s\n", "churn events", "std total", "CUP total", "CUP/std")
 	for _, rounds := range []int{0, 10, 40, 80} {
-		std := run(cup.Standard(), rounds)
-		res := run(cup.Defaults(), rounds)
+		std := run(rounds, cup.WithStandardCaching())
+		res := run(rounds)
 		fmt.Printf("%-14d %12d %12d %9.2fx\n",
 			rounds,
 			std.Counters.TotalCost(),

@@ -5,7 +5,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"cup"
 	"cup/internal/workload"
@@ -18,21 +20,29 @@ func main() {
 		Queries: 3000,
 	}
 
-	run := func(cfg cup.Config) *cup.Result {
-		p := cup.Params{
-			Nodes:         512,
-			QueryRate:     0.01, // quiet background
-			QueryDuration: 900,
-			HopDelay:      0.25, // a slow network makes the burst overlap responses
-			Seed:          7,
-			Config:        cfg,
-			Hooks:         surge.Hooks(),
+	run := func(extra ...cup.Option) *cup.Result {
+		opts := []cup.Option{
+			cup.WithNodes(512),
+			cup.WithQueryRate(0.01), // quiet background
+			cup.WithQueryDuration(900 * time.Second),
+			cup.WithHopDelay(250 * time.Millisecond), // a slow network makes the burst overlap responses
+			cup.WithSeed(7),
+			cup.WithHooks(surge.Hooks()...),
 		}
-		return cup.Run(p)
+		d, err := cup.New(append(opts, extra...)...)
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		res, err := d.Run(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		return res
 	}
 
-	std := run(cup.Standard())
-	res := run(cup.Defaults())
+	std := run(cup.WithStandardCaching())
+	res := run()
 
 	fmt.Println("Flash crowd: 3000 queries for one key at 300 q/s on a 512-node CAN")
 	fmt.Printf("%-28s %12s %12s\n", "", "standard", "CUP")

@@ -1,7 +1,8 @@
-// Livenet: CUP as a real concurrent system. Every peer is a goroutine,
-// query and update channels are Go channels, and lookups are served with
-// real wall-clock latency. Replicas register, refresh, and disappear while
-// clients look keys up from random peers.
+// Livenet: CUP as a real concurrent system through the unified cup.New
+// deployment API. Every peer is a goroutine, query and update channels
+// are Go channels, and lookups are served with real wall-clock latency.
+// Replicas register, refresh, and disappear while clients look keys up
+// from random peers.
 package main
 
 import (
@@ -9,33 +10,39 @@ import (
 	"fmt"
 	"time"
 
-	"cup/internal/live"
-	"cup/internal/overlay"
+	"cup"
 )
 
 func main() {
-	net := live.NewNetwork(live.Config{
-		Nodes:    64,
-		HopDelay: 2 * time.Millisecond,
-	})
-	defer net.Close()
-
-	const key = overlay.Key("ubuntu-24.04.iso")
-	fmt.Printf("64 goroutine peers up; authority for %q is %v\n\n", key, net.Authority(key))
-
-	// Three replicas announce themselves to the authority.
-	for r := 0; r < 3; r++ {
-		net.AddReplica(key, r, fmt.Sprintf("198.51.100.%d", r+1), time.Hour)
+	d, err := cup.New(
+		cup.WithTransport(cup.Live),
+		cup.WithNodes(64),
+		cup.WithHopDelay(2*time.Millisecond),
+	)
+	if err != nil {
+		panic(err)
 	}
+	defer d.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
+	const key = cup.Key("ubuntu-24.04.iso")
+	fmt.Printf("64 goroutine peers up; authority for %q is %v\n\n", key, d.Authority(key))
+
+	// Three replicas announce themselves to the authority.
+	for r := 0; r < 3; r++ {
+		if err := d.Publish(ctx, key, r, fmt.Sprintf("198.51.100.%d", r+1), time.Hour); err != nil {
+			fmt.Println("publish failed:", err)
+			return
+		}
+	}
+
 	// First lookup walks the overlay; repeat lookups at the same peer hit
 	// its CUP-maintained cache.
-	for _, peer := range []overlay.NodeID{5, 41, 5} {
+	for _, peer := range []cup.NodeID{5, 41, 5} {
 		start := time.Now()
-		entries, err := net.Lookup(ctx, peer, key)
+		entries, err := d.LookupAt(ctx, peer, key)
 		if err != nil {
 			fmt.Println("lookup failed:", err)
 			return
@@ -44,9 +51,12 @@ func main() {
 	}
 
 	// A replica disappears; the authority pushes a Delete down the tree.
-	net.RemoveReplica(key, 0)
+	if err := d.Unpublish(ctx, key, 0); err != nil {
+		fmt.Println("unpublish failed:", err)
+		return
+	}
 	time.Sleep(50 * time.Millisecond)
-	entries, err := net.Lookup(ctx, 41, key)
+	entries, err := d.LookupAt(ctx, 41, key)
 	if err != nil {
 		fmt.Println("lookup failed:", err)
 		return
@@ -56,7 +66,7 @@ func main() {
 		fmt.Printf("  replica %d at %s\n", e.Replica, e.Addr)
 	}
 
-	st := net.Stats()
+	c := d.Counters()
 	fmt.Printf("\nnetwork totals: %d query msgs, %d update msgs, %d clear-bits\n",
-		st.QueryMsgs, st.UpdateMsgs, st.ClearBitMsgs)
+		c.QueryHops, c.UpdateHops, c.ClearBitHops)
 }

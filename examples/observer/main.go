@@ -1,0 +1,95 @@
+// Observer: tail the shared event bus of a live CUP network. A
+// background workload publishes, refreshes, and looks up keys from
+// random peers; the main goroutine subscribes to the deployment's event
+// stream and prints a per-second rate line — queries issued/answered,
+// updates pushed, cut-offs — the live introspection a long-running
+// deployment needs (and exactly the stream a simulated run emits).
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cup"
+)
+
+func main() {
+	d, err := cup.New(
+		cup.WithTransport(cup.Live),
+		cup.WithNodes(64),
+		cup.WithHopDelay(500*time.Microsecond),
+		cup.WithSeed(3),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer d.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 6*time.Second)
+	defer cancel()
+
+	keys := []cup.Key{"alpha", "beta", "gamma"}
+	for i, k := range keys {
+		for r := 0; r < 2; r++ {
+			if err := d.Publish(ctx, k, r, fmt.Sprintf("198.51.100.%d", 10*i+r), time.Hour); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	events, stop := d.Events()
+	defer stop()
+
+	// Background workload: lookups from random peers plus periodic
+	// refreshes, so the bus carries both miss traffic and pushed updates.
+	go func() {
+		rng := rand.New(rand.NewSource(3))
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		i := 0
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+			i++
+			k := keys[rng.Intn(len(keys))]
+			if i%40 == 0 {
+				_ = d.Publish(ctx, k, rng.Intn(2), "198.51.100.99", time.Hour)
+				continue
+			}
+			lctx, lcancel := context.WithTimeout(ctx, time.Second)
+			_, _ = d.LookupAt(lctx, cup.NodeID(rng.Intn(d.Size())), k)
+			lcancel()
+		}
+	}()
+
+	// Consume the bus: per-second event rates.
+	fmt.Println("per-second event rates from the live deployment's bus:")
+	fmt.Printf("%-8s %8s %9s %8s %8s\n", "t", "queries", "answered", "pushed", "cutoffs")
+	counts := make(map[cup.EventKind]int)
+	second := time.NewTicker(time.Second)
+	defer second.Stop()
+	start := time.Now()
+	for {
+		select {
+		case e, ok := <-events:
+			if !ok {
+				return
+			}
+			counts[e.Kind]++
+		case <-second.C:
+			fmt.Printf("%-8s %8d %9d %8d %8d\n",
+				time.Since(start).Round(time.Second),
+				counts[cup.EvQueryIssued], counts[cup.EvQueryAnswered],
+				counts[cup.EvUpdatePushed], counts[cup.EvCutoffFired])
+			counts = make(map[cup.EventKind]int)
+		case <-ctx.Done():
+			fmt.Printf("\ndone; %d events dropped by the subscriber buffer\n", d.EventsDropped())
+			return
+		}
+	}
+}

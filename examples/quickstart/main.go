@@ -1,27 +1,40 @@
 // Quickstart: run one CUP simulation next to the standard-caching
-// baseline and print the paper's headline comparison — miss cost, update
-// overhead, total cost, and average miss latency.
+// baseline through the unified cup.New deployment API and print the
+// paper's headline comparison — miss cost, update overhead, total cost,
+// and average miss latency.
 package main
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"cup"
 )
 
 func main() {
-	params := cup.Params{
-		Nodes:         256, // 2^8-node CAN overlay
-		QueryRate:     5,   // Poisson λ, queries/s across the network
-		QueryDuration: 900, // seconds of querying
-		Seed:          42,
+	base := []cup.Option{
+		cup.WithNodes(256),                       // 2^8-node CAN overlay
+		cup.WithQueryRate(5),                     // Poisson λ, queries/s across the network
+		cup.WithQueryDuration(900 * time.Second), // seconds of querying
+		cup.WithSeed(42),
 	}
 
-	params.Config = cup.Standard()
-	std := cup.Run(params)
+	run := func(extra ...cup.Option) *cup.Result {
+		d, err := cup.New(append(append([]cup.Option{}, base...), extra...)...)
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		res, err := d.Run(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		return res
+	}
 
-	params.Config = cup.Defaults() // CUP with the second-chance cut-off
-	res := cup.Run(params)
+	std := run(cup.WithStandardCaching())
+	res := run() // CUP with the second-chance cut-off (the default)
 
 	fmt.Println("CUP vs standard expiration-based caching")
 	fmt.Printf("%-22s %12s %12s\n", "", "standard", "CUP")

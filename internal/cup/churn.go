@@ -81,10 +81,12 @@ func (s *Simulation) JoinNode() overlay.NodeID {
 	s.Router.Invalidate()
 
 	node := NewNode(id, s.P.Config, s.Router, s.Sched.Now)
+	node.SetObserver(s.P.Observer)
 	if int(id) != len(s.Nodes) {
 		panic(fmt.Sprintf("cup: overlay issued id %v, expected %d", id, len(s.Nodes)))
 	}
 	s.Nodes = append(s.Nodes, node)
+	s.emitMembership(EvNodeJoined, id)
 
 	// Previous owners hand over the index entries that now hash into the
 	// joiner's region (§2.9: "M could give a copy of its stored index
@@ -131,7 +133,16 @@ func (s *Simulation) LeaveNode(victim overlay.NodeID) overlay.NodeID {
 	s.Router.Invalidate()
 	s.redistributeLocal(victim)
 	s.patchNeighborhood(s.reverseNeighbors(), append(affected, heir))
+	s.emitMembership(EvNodeLeft, victim)
 	return heir
+}
+
+// emitMembership publishes a §2.9 membership event to the run's observer.
+func (s *Simulation) emitMembership(kind EventKind, id overlay.NodeID) {
+	if s.P.Observer == nil {
+		return
+	}
+	s.P.Observer.OnEvent(Event{Kind: kind, Time: s.Sched.Now(), Node: id, Peer: overlay.NoNode})
 }
 
 // reverseNeighbors builds the reverse adjacency of the current overlay in

@@ -1,0 +1,56 @@
+package cup
+
+import (
+	"time"
+
+	"cup/internal/sim"
+)
+
+// This file is the single source of truth for the paper-default constants
+// (§3.2) and runtime defaults shared by every transport. Both the
+// discrete-event simulator (Params.WithDefaults) and the live goroutine
+// runtime (live.Config) consume this table, so the two runtimes cannot
+// drift apart in their defaulting.
+const (
+	// DefaultNodes is the paper's headline overlay size (n = 2^10).
+	DefaultNodes = 1024
+	// DefaultOverlayKind is the paper's substrate, a 2-D CAN.
+	DefaultOverlayKind = "can"
+	// DefaultKeys is the number of distinct workload keys.
+	DefaultKeys = 1
+	// DefaultReplicas is the number of replicas per key.
+	DefaultReplicas = 1
+	// DefaultLifetime is the replica lifetime: "the lifetime of replicas"
+	// is 300 s throughout the paper's evaluation.
+	DefaultLifetime sim.Duration = 300
+	// DefaultHopDelay is the simulator's per-hop network latency.
+	DefaultHopDelay sim.Duration = 0.1
+	// DefaultQueryRate is the network-wide Poisson query rate λ (q/s).
+	DefaultQueryRate float64 = 1
+	// DefaultQueryDuration is the paper's query window ("3000 seconds of
+	// querying").
+	DefaultQueryDuration sim.Duration = 3000
+	// DefaultPiggybackWindow is how long a clear-bit waits for a carrier
+	// before traveling standalone (§2.7).
+	DefaultPiggybackWindow sim.Duration = 1
+	// DefaultSeed drives all randomness when the caller leaves it unset.
+	DefaultSeed int64 = 1
+
+	// DefaultLiveHopDelay is the live runtime's wall-clock per-hop
+	// latency. It deliberately differs from DefaultHopDelay: simulated
+	// runs model a 100 ms WAN hop in virtual time, while the goroutine
+	// runtime keeps demos and tests interactive.
+	DefaultLiveHopDelay = time.Millisecond
+	// DefaultInboxDepth bounds each live peer's mailbox.
+	DefaultInboxDepth = 1024
+)
+
+// overlaySeedSalt decorrelates overlay construction from the workload's
+// randomness stream.
+const overlaySeedSalt = 0x5eed
+
+// OverlaySeed derives the overlay-construction seed from a run seed. Both
+// transports use it, so the same seed and options build the same topology
+// whether a deployment is simulated or live — the event-parity tests
+// depend on this.
+func OverlaySeed(seed int64) int64 { return seed + overlaySeedSalt }

@@ -1,6 +1,7 @@
 package cup
 
 import (
+	"context"
 	"fmt"
 
 	"cup/internal/cache"
@@ -71,6 +72,15 @@ type Params struct {
 	Seed int64
 	// Hooks run at fixed virtual times (capacity fault injection etc.).
 	Hooks []Hook
+	// Observer, when set, receives the protocol event stream (see Event);
+	// it is installed on every node and also carries the transport-level
+	// membership events emitted by §2.9 churn.
+	Observer Observer
+	// NoWorkload skips the scripted workload (replica births with
+	// refresh-at-expiration loops, Poisson query arrivals): the run starts
+	// idle and is driven interactively through PublishReplica and Lookup,
+	// exactly like a live network. The façade's client API uses this.
+	NoWorkload bool
 }
 
 // Hook is a scheduled intervention into a running simulation.
@@ -94,34 +104,36 @@ func (s *Simulation) delay(from, to overlay.NodeID) sim.Duration {
 	return s.P.HopDelay
 }
 
-// withDefaults fills unset fields with the paper's parameters.
-func (p Params) withDefaults() Params {
+// WithDefaults fills unset fields with the paper's parameters from the
+// shared defaults table (defaults.go) — the same table the live runtime's
+// config defaulting consumes.
+func (p Params) WithDefaults() Params {
 	if p.Nodes == 0 {
-		p.Nodes = 1024
+		p.Nodes = DefaultNodes
 	}
 	if p.OverlayKind == "" {
-		p.OverlayKind = "can"
+		p.OverlayKind = DefaultOverlayKind
 	}
 	if p.Keys == 0 {
-		p.Keys = 1
+		p.Keys = DefaultKeys
 	}
 	if p.Replicas == 0 {
-		p.Replicas = 1
+		p.Replicas = DefaultReplicas
 	}
 	if p.Lifetime == 0 {
-		p.Lifetime = 300
+		p.Lifetime = DefaultLifetime
 	}
 	if p.HopDelay == 0 {
-		p.HopDelay = 0.1
+		p.HopDelay = DefaultHopDelay
 	}
 	if p.QueryRate == 0 {
-		p.QueryRate = 1
+		p.QueryRate = DefaultQueryRate
 	}
 	if p.QueryStart == 0 {
 		p.QueryStart = p.Lifetime
 	}
 	if p.QueryDuration == 0 {
-		p.QueryDuration = 3000
+		p.QueryDuration = DefaultQueryDuration
 	}
 	if p.Drain == 0 {
 		p.Drain = p.Lifetime
@@ -130,7 +142,7 @@ func (p Params) withDefaults() Params {
 		p.Config = Defaults()
 	}
 	if p.Seed == 0 {
-		p.Seed = 1
+		p.Seed = DefaultSeed
 	}
 	return p
 }
@@ -158,7 +170,14 @@ type Simulation struct {
 	pending map[pendKey][]sim.Time
 	gates   map[overlay.NodeID]*refreshGate
 	held    map[linkKey][]*heldClearBit
+	lookups map[pendKey][]*lookupWaiter
 	endTime sim.Time
+}
+
+// lookupWaiter captures the answer of one interactive Lookup.
+type lookupWaiter struct {
+	done    bool
+	entries []cache.Entry
 }
 
 type linkKey struct {
@@ -178,7 +197,7 @@ type pendKey struct {
 
 // NewSimulation builds the overlay, nodes, replicas, workload, and hooks.
 func NewSimulation(p Params) *Simulation {
-	p = p.withDefaults()
+	p = p.WithDefaults()
 	s := &Simulation{
 		P:       p,
 		Sched:   sim.NewScheduler(),
@@ -186,11 +205,12 @@ func NewSimulation(p Params) *Simulation {
 		pending: make(map[pendKey][]sim.Time),
 		gates:   make(map[overlay.NodeID]*refreshGate),
 		held:    make(map[linkKey][]*heldClearBit),
+		lookups: make(map[pendKey][]*lookupWaiter),
 	}
 	if s.P.PiggybackWindow == 0 {
-		s.P.PiggybackWindow = 1
+		s.P.PiggybackWindow = DefaultPiggybackWindow
 	}
-	ov, err := overlay.Build(p.OverlayKind, p.Nodes, p.Seed+0x5eed)
+	ov, err := overlay.Build(p.OverlayKind, p.Nodes, OverlaySeed(p.Seed))
 	if err != nil {
 		panic(fmt.Sprintf("cup: %v", err))
 	}
@@ -199,6 +219,7 @@ func NewSimulation(p Params) *Simulation {
 	s.Nodes = make([]*Node, p.Nodes)
 	for i := range s.Nodes {
 		s.Nodes[i] = NewNode(overlay.NodeID(i), p.Config, s.Router, s.Sched.Now)
+		s.Nodes[i].SetObserver(p.Observer)
 	}
 	s.Keys = make([]overlay.Key, p.Keys)
 	for i := range s.Keys {
@@ -209,20 +230,23 @@ func NewSimulation(p Params) *Simulation {
 	}
 	s.endTime = sim.Time(p.QueryStart + p.QueryDuration + p.Drain)
 
-	// Replica lifecycle: births staggered across one lifetime so refresh
-	// waves are not synchronized, then refresh-at-expiration loops.
-	for ki := range s.Keys {
-		for r := 0; r < p.Replicas; r++ {
-			birth := sim.Time(sim.Duration(s.Rng.Float64()) * p.Lifetime)
-			ki, r := ki, r
-			s.Sched.At(birth, func() { s.AddReplica(s.Keys[ki], r) })
+	if !p.NoWorkload {
+		// Replica lifecycle: births staggered across one lifetime so
+		// refresh waves are not synchronized, then refresh-at-expiration
+		// loops.
+		for ki := range s.Keys {
+			for r := 0; r < p.Replicas; r++ {
+				birth := sim.Time(sim.Duration(s.Rng.Float64()) * p.Lifetime)
+				ki, r := ki, r
+				s.Sched.At(birth, func() { s.AddReplica(s.Keys[ki], r) })
+			}
 		}
-	}
 
-	// Query workload.
-	qStart := sim.Time(p.QueryStart)
-	qEnd := qStart.Add(p.QueryDuration)
-	sim.PoissonArrivals(s.Sched, s.Rng, p.QueryRate, qStart, qEnd, s.postQuery)
+		// Query workload.
+		qStart := sim.Time(p.QueryStart)
+		qEnd := qStart.Add(p.QueryDuration)
+		sim.PoissonArrivals(s.Sched, s.Rng, p.QueryRate, qStart, qEnd, s.postQuery)
+	}
 
 	for _, h := range p.Hooks {
 		h := h
@@ -322,6 +346,63 @@ func (s *Simulation) originateRefresh(auth *Node, k overlay.Key, entries []cache
 		Expires: expires, Lifetime: s.P.Lifetime}
 	s.C.UpdatesOriginated++
 	s.dispatch(auth.ID(), auth.OriginateUpdate(u))
+}
+
+// PublishReplica installs (k, replica) at its authority and propagates
+// the event as an update of type ty (Append for births, Refresh for
+// re-registrations), mirroring the live runtime's replica registration.
+// Unlike AddReplica it does not arm a refresh-at-expiration loop: the
+// publisher owns the refresh cadence, exactly as in a live deployment.
+func (s *Simulation) PublishReplica(k overlay.Key, replica int, addr string, lifetime sim.Duration, ty UpdateType) {
+	auth := s.Authority(k)
+	e := cache.Entry{Key: k, Replica: replica, Addr: addr,
+		Expires: s.Sched.Now().Add(lifetime)}
+	auth.InstallLocal(e)
+	u := Update{Key: k, Type: ty, Entries: []cache.Entry{e}, Replica: replica,
+		Expires: e.Expires, Lifetime: lifetime}
+	s.C.UpdatesOriginated++
+	s.dispatch(auth.ID(), auth.OriginateUpdate(u))
+}
+
+// Lookup posts a client query for k at node nid and drives the scheduler
+// until the answer is delivered, returning the index entries — the
+// discrete-event counterpart of live.Network.Lookup. Any scripted
+// workload advances alongside on the virtual clock.
+func (s *Simulation) Lookup(ctx context.Context, nid overlay.NodeID, k overlay.Key) ([]cache.Entry, error) {
+	if int(nid) < 0 || int(nid) >= len(s.Nodes) || !s.NodeAlive(nid) {
+		return nil, fmt.Errorf("cup: lookup at invalid node %v", nid)
+	}
+	w := &lookupWaiter{}
+	pk := pendKey{nid, k}
+	s.lookups[pk] = append(s.lookups[pk], w)
+	s.PostQueryAt(nid, k)
+	for i := 0; !w.done; i++ {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if !s.Sched.Step() {
+			return nil, fmt.Errorf("cup: lookup for %q at %v never resolved (event queue drained)", k, nid)
+		}
+	}
+	return w.entries, nil
+}
+
+// Settle drives the scheduler until no events remain — every in-flight
+// message delivered, every timer fired — checking ctx periodically. With
+// a scripted workload this executes the remainder of the schedule.
+func (s *Simulation) Settle(ctx context.Context) error {
+	for i := 0; ; i++ {
+		if i%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if !s.Sched.Step() {
+			return nil
+		}
+	}
 }
 
 // RemoveReplica deletes replica r of key k: the authority removes the
@@ -428,7 +509,7 @@ func (s *Simulation) dispatch(from overlay.NodeID, acts []Action) {
 				s.dispatch(a.To, s.Nodes[a.To].HandleClearBit(from, a.Key))
 			})
 		case ActDeliverLocal:
-			s.deliverLocal(from, a.Key)
+			s.deliverLocal(from, a.Key, a.Entries)
 		default:
 			panic(fmt.Sprintf("cup: unknown action kind %d", a.Kind))
 		}
@@ -477,7 +558,7 @@ func (s *Simulation) flushHeldClearBits(from, to overlay.NodeID) {
 }
 
 // deliverLocal resolves the open local client connections at node nid.
-func (s *Simulation) deliverLocal(nid overlay.NodeID, k overlay.Key) {
+func (s *Simulation) deliverLocal(nid overlay.NodeID, k overlay.Key, entries []cache.Entry) {
 	pk := pendKey{nid, k}
 	now := s.Sched.Now()
 	for _, t0 := range s.pending[pk] {
@@ -485,6 +566,11 @@ func (s *Simulation) deliverLocal(nid overlay.NodeID, k overlay.Key) {
 		s.C.MissesServed++
 	}
 	delete(s.pending, pk)
+	for _, w := range s.lookups[pk] {
+		w.done = true
+		w.entries = entries
+	}
+	delete(s.lookups, pk)
 }
 
 // SetCapacityFraction applies a reduced outgoing update capacity to a set
@@ -507,9 +593,35 @@ func (s *Simulation) RandomNodeSample(k int) []overlay.NodeID {
 
 // Run executes the whole schedule and returns the aggregated result.
 func (s *Simulation) Run() *Result {
-	if err := s.Sched.RunUntil(s.endTime); err != nil {
+	res, err := s.RunContext(context.Background())
+	if err != nil {
 		panic(fmt.Sprintf("cup: simulation aborted: %v", err))
 	}
+	return res
+}
+
+// RunContext executes the schedule until the configured end time,
+// checking ctx between batches of events, and returns the aggregated
+// result.
+func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
+	const batch = 8192
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ran := 0
+		for ran < batch && s.Sched.NextTime() <= s.endTime {
+			s.Sched.Step()
+			ran++
+			if s.Sched.MaxEvents > 0 && s.Sched.Executed > s.Sched.MaxEvents {
+				return nil, sim.ErrEventBudget
+			}
+		}
+		if ran < batch {
+			break
+		}
+	}
+	s.Sched.AdvanceTo(s.endTime)
 	// Updates still awaiting their justification window at the end of the
 	// run are censored observations, not failures; they stay unclassified
 	// (callers wanting strict accounting may SettleJustification first).
@@ -520,7 +632,7 @@ func (s *Simulation) Run() *Result {
 		s.C.ExpiredUpdates += st.Expired
 		s.C.UpdatesDropped += st.Dropped
 	}
-	return &Result{Params: s.P, Counters: s.C}
+	return &Result{Params: s.P, Counters: s.C}, nil
 }
 
 // Run builds and runs a simulation in one call.

@@ -211,7 +211,7 @@ func TestRandomNodeSampleDistinct(t *testing.T) {
 }
 
 func TestDefaultsFilledIn(t *testing.T) {
-	p := Params{}.withDefaults()
+	p := Params{}.WithDefaults()
 	if p.Nodes != 1024 || p.Lifetime != 300 || p.QueryDuration != 3000 {
 		t.Fatalf("defaults wrong: %+v", p)
 	}

@@ -1,0 +1,207 @@
+package cup
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+// This file implements the shared event bus: the protocol core emits one
+// identical event stream regardless of transport, so a simulated run and a
+// live deployment can be observed — and compared — through the same API.
+// Node emits the protocol-level events (query issued/answered, update
+// pushed, cut-off fired); the transports add membership events (node
+// joined/left) on churn.
+
+// EventKind classifies protocol events.
+type EventKind int
+
+const (
+	// EvQueryIssued fires when a local client posts a query at a node.
+	EvQueryIssued EventKind = iota
+	// EvQueryAnswered fires when a node resolves local client connections
+	// for a key (Entries carries the answer size; zero for an empty or
+	// expired answer).
+	EvQueryAnswered
+	// EvUpdatePushed fires per neighbor when a node proactively pushes an
+	// update along its interest tree (responses to pending queries are
+	// miss traffic, not pushes, and do not fire this event).
+	EvUpdatePushed
+	// EvCutoffFired fires when a node sends a clear-bit to cut itself (or
+	// propagate a cut) out of an update propagation tree (§2.7).
+	EvCutoffFired
+	// EvNodeJoined fires when a node joins the overlay (§2.9 arrivals).
+	EvNodeJoined
+	// EvNodeLeft fires when a node departs the overlay (§2.9 departures).
+	EvNodeLeft
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvQueryIssued:
+		return "query-issued"
+	case EvQueryAnswered:
+		return "query-answered"
+	case EvUpdatePushed:
+		return "update-pushed"
+	case EvCutoffFired:
+		return "cutoff-fired"
+	case EvNodeJoined:
+		return "node-joined"
+	case EvNodeLeft:
+		return "node-left"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// EventKinds lists every kind in declaration order (for tallies).
+var EventKinds = []EventKind{
+	EvQueryIssued, EvQueryAnswered, EvUpdatePushed, EvCutoffFired,
+	EvNodeJoined, EvNodeLeft,
+}
+
+// Event is one observation from a running deployment. Time is virtual
+// seconds on the simulated transport and wall-clock seconds since network
+// start on the live one; everything else is transport-independent.
+type Event struct {
+	Kind EventKind
+	Time sim.Time
+	// Node is where the event happened.
+	Node overlay.NodeID
+	// Peer is the counterpart when one exists: the push or clear-bit
+	// target. NoNode otherwise.
+	Peer overlay.NodeID
+	Key  overlay.Key
+	// Type is the update taxonomy for EvUpdatePushed.
+	Type UpdateType
+	// Depth is the receiver's hop distance from the authority for
+	// EvUpdatePushed.
+	Depth int
+	// Entries is the answer payload size for EvQueryAnswered.
+	Entries int
+}
+
+// Observer receives protocol events. Implementations attached to a live
+// network are called from many peer goroutines concurrently and must be
+// safe for concurrent use; on the simulator they are called inline from
+// the single scheduler goroutine.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(e Event) { f(e) }
+
+// Bus fans events out to synchronous observers and buffered channel
+// subscribers. It is safe for concurrent use from any number of emitters,
+// so one Bus serves both the single-threaded simulator and the
+// goroutine-per-peer live runtime.
+//
+// Channel subscribers are never allowed to block an emitter: when a
+// subscriber's buffer is full the event is dropped for that subscriber
+// and counted in Dropped. Synchronous observers see every event.
+type Bus struct {
+	mu      sync.RWMutex
+	seq     uint64
+	taps    map[uint64]Observer
+	subs    map[uint64]*busSub
+	dropped atomic.Uint64
+}
+
+type busSub struct {
+	ch     chan Event
+	filter func(Event) bool
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{taps: make(map[uint64]Observer), subs: make(map[uint64]*busSub)}
+}
+
+// OnEvent implements Observer by fanning the event out, so a Bus can be
+// installed directly as a node or transport observer.
+func (b *Bus) OnEvent(e Event) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, t := range b.taps {
+		t.OnEvent(e)
+	}
+	for _, s := range b.subs {
+		if s.filter != nil && !s.filter(e) {
+			continue
+		}
+		select {
+		case s.ch <- e:
+		default:
+			b.dropped.Add(1)
+		}
+	}
+}
+
+// Attach registers a synchronous observer; the returned function detaches
+// it. Observers attached to a live deployment must be concurrency-safe.
+func (b *Bus) Attach(o Observer) (detach func()) {
+	b.mu.Lock()
+	b.seq++
+	id := b.seq
+	b.taps[id] = o
+	b.mu.Unlock()
+	return func() {
+		b.mu.Lock()
+		delete(b.taps, id)
+		b.mu.Unlock()
+	}
+}
+
+// Subscribe returns a buffered channel receiving every event matching
+// filter (nil matches all). Cancel detaches the subscription and closes
+// the channel. Events arriving while the buffer is full are dropped for
+// this subscriber.
+func (b *Bus) Subscribe(buffer int, filter func(Event) bool) (<-chan Event, func()) {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	s := &busSub{ch: make(chan Event, buffer), filter: filter}
+	b.mu.Lock()
+	b.seq++
+	id := b.seq
+	b.subs[id] = s
+	b.mu.Unlock()
+	// Membership in b.subs guards the close: emitters hold the read lock
+	// while sending, and both cancel and CloseSubscribers close only the
+	// channel they removed from the map under the write lock, so the
+	// channel closes exactly once with no send racing it.
+	cancel := func() {
+		b.mu.Lock()
+		if _, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(s.ch)
+		}
+		b.mu.Unlock()
+	}
+	return s.ch, cancel
+}
+
+// CloseSubscribers detaches every channel subscription and closes its
+// channel, unblocking consumers ranging over them. Synchronous observers
+// stay attached.
+func (b *Bus) CloseSubscribers() {
+	b.mu.Lock()
+	for id, s := range b.subs {
+		delete(b.subs, id)
+		close(s.ch)
+	}
+	b.mu.Unlock()
+}
+
+// Dropped returns the number of events discarded because a subscriber's
+// buffer was full.
+func (b *Bus) Dropped() uint64 { return b.dropped.Load() }

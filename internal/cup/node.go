@@ -66,6 +66,11 @@ type Node struct {
 	cfg    Config
 	router Router
 	now    func() sim.Time
+	// obs, when set, receives the protocol-level event stream (query
+	// issued/answered, update pushed, cut-off fired). Both transports
+	// install the same observer type, so event streams are comparable
+	// across simulated and live runs.
+	obs Observer
 
 	// store caches index entries learned from queries and updates (§2.1
 	// "cached index entries").
@@ -108,6 +113,21 @@ func NewNode(id overlay.NodeID, cfg Config, router Router, now func() sim.Time) 
 
 // ID returns the node's overlay identifier.
 func (n *Node) ID() overlay.NodeID { return n.id }
+
+// SetObserver installs (or, with nil, removes) the node's event observer.
+// The transport owns the call; live deployments must pass an observer that
+// is safe for concurrent use across peers.
+func (n *Node) SetObserver(o Observer) { n.obs = o }
+
+// emit publishes one event with this node's identity and clock stamped in.
+func (n *Node) emit(e Event) {
+	if n.obs == nil {
+		return
+	}
+	e.Time = n.now()
+	e.Node = n.id
+	n.obs.OnEvent(e)
+}
 
 // Stats returns the node's protocol observations.
 func (n *Node) Stats() NodeStats { return n.stats }
@@ -244,6 +264,10 @@ func (n *Node) HandleQuery(from overlay.NodeID, k overlay.Key, qid uint64) []Act
 	n.recordQuery(ks)
 	now := n.now()
 
+	if from == LocalClient {
+		n.emit(Event{Kind: EvQueryIssued, Peer: LocalClient, Key: k})
+	}
+
 	// Interest registration: CUP nodes remember which neighbors want
 	// updates for k, in every case of §2.5.
 	if from != LocalClient && n.cfg.Mode == ModeCUP {
@@ -303,6 +327,7 @@ func (n *Node) HandleQuery(from overlay.NodeID, k overlay.Key, qid uint64) []Act
 // response carries our distance+1 so the receiver learns its depth.
 func (n *Node) answer(ks *keyState, from overlay.NodeID, k overlay.Key, entries []cache.Entry, qid uint64) []Action {
 	if from == LocalClient {
+		n.emit(Event{Kind: EvQueryAnswered, Peer: LocalClient, Key: k, Entries: len(entries)})
 		return []Action{{Kind: ActDeliverLocal, Key: k, Entries: entries}}
 	}
 	depth := ks.dist + 1
@@ -337,6 +362,7 @@ func (n *Node) handleDirectResponse(u Update) []Action {
 		if fresh != nil {
 			n.apply(ks, Update{Key: u.Key, Type: FirstTime, Entries: fresh})
 		}
+		n.emit(Event{Kind: EvQueryAnswered, Peer: LocalClient, Key: u.Key, Entries: len(fresh)})
 		return []Action{{Kind: ActDeliverLocal, Key: u.Key, Entries: fresh}}
 	}
 	fwd := u
@@ -438,6 +464,7 @@ func (n *Node) HandleUpdate(from overlay.NodeID, u Update) []Action {
 			keep := ks.inst.Keep(ks.queries, u.Depth)
 			n.resetPopularity(ks, u)
 			if !keep {
+				n.emit(Event{Kind: EvCutoffFired, Peer: from, Key: u.Key})
 				return []Action{{Kind: ActSendClearBit, To: from, Key: u.Key}}
 			}
 		}
@@ -461,6 +488,7 @@ func (n *Node) respondPending(ks *keyState, u Update, entries []cache.Entry) []A
 	ks.pfu = false
 	var acts []Action
 	if ks.pendingLocal > 0 {
+		n.emit(Event{Kind: EvQueryAnswered, Peer: LocalClient, Key: u.Key, Entries: len(entries)})
 		acts = append(acts, Action{Kind: ActDeliverLocal, Key: u.Key, Entries: entries})
 		ks.pendingLocal = 0
 	}
@@ -608,6 +636,7 @@ func (n *Node) pushProactiveExcept(ks *keyState, u Update, senderDepth int, exce
 	fwd.Depth = senderDepth + 1
 	acts := make([]Action, 0, len(targets))
 	for _, m := range targets {
+		n.emit(Event{Kind: EvUpdatePushed, Peer: m, Key: u.Key, Type: u.Type, Depth: fwd.Depth})
 		acts = append(acts, Action{Kind: ActSendUpdate, To: m, Key: u.Key, Update: fwd})
 	}
 	return acts
@@ -627,6 +656,7 @@ func (n *Node) HandleClearBit(from overlay.NodeID, k overlay.Key) []Action {
 		return nil // the root has no upstream to cut
 	}
 	next := n.router.NextHopTowardOwner(n.id, k)
+	n.emit(Event{Kind: EvCutoffFired, Peer: next, Key: k})
 	return []Action{{Kind: ActSendClearBit, To: next, Key: k}}
 }
 

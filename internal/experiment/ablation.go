@@ -4,8 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
-	"cup/internal/cup"
+	"cup"
 	"cup/internal/metrics"
 	"cup/internal/netmodel"
 	"cup/internal/overlay"
@@ -22,12 +23,10 @@ func AblationOverlay(sc Scale) *metrics.Table {
 	t.Header = []string{"overlay", "λ", "STD total", "CUP total", "CUP/STD"}
 	for _, ov := range overlay.Kinds() {
 		for _, r := range []float64{1, 100} {
-			p := sc.base(r)
-			p.OverlayKind = ov
-			p.Config = cup.Standard()
-			std := cup.Run(p).Counters.TotalCost()
-			p.Config = cup.Defaults()
-			c := cup.Run(p).Counters.TotalCost()
+			std := run(append(sc.base(r),
+				cup.WithOverlay(ov), cup.WithStandardCaching())...).Counters.TotalCost()
+			c := run(append(sc.base(r),
+				cup.WithOverlay(ov))...).Counters.TotalCost()
 			t.AddRow(ov, metrics.F(r), metrics.I(std), metrics.I(c),
 				metrics.F(float64(c)/math.Max(1, float64(std))))
 		}
@@ -45,15 +44,13 @@ func AblationCoalescing(sc Scale) *metrics.Table {
 	t.Header = []string{"protocol", "queries", "coalesced", "query hops", "total cost"}
 	surge := workload.FlashCrowd{At: 400, Rate: 500, Queries: 2000}
 	for _, mode := range []string{"standard", "cup"} {
-		p := sc.base(0.001) // near-silent background
-		p.HopDelay = 0.5    // slow network: the burst outruns responses
-		p.Hooks = surge.Hooks()
+		opts := append(sc.base(0.001), // near-silent background
+			cup.WithHopDelay(500*time.Millisecond), // slow network: the burst outruns responses
+			cup.WithHooks(surge.Hooks()...))
 		if mode == "standard" {
-			p.Config = cup.Standard()
-		} else {
-			p.Config = cup.Defaults()
+			opts = append(opts, cup.WithStandardCaching())
 		}
-		res := cup.Run(p)
+		res := run(opts...)
 		t.AddRow(mode,
 			metrics.I(res.Counters.Queries),
 			metrics.I(res.Counters.Coalesced),
@@ -180,9 +177,7 @@ func AblationJustified(sc Scale) *metrics.Table {
 	t.Header = []string{"λ (q/s)", "measured justified", "leaf prediction 1−e^(−λT/n)"}
 	const lifetime, n = 300.0, 1024.0
 	for _, r := range JustifiedRates {
-		p := sc.base(r)
-		p.Config = cup.Defaults()
-		res := cup.Run(p)
+		res := run(sc.base(r)...)
 		// §3.1 predicts an update pushed to node N is justified with
 		// probability 1 − e^{−ΛT} where Λ sums the query rates of N's
 		// virtual subtree. A leaf sees only its own λ/n; interior nodes
@@ -214,11 +209,9 @@ func AblationAggregation(sc Scale) *metrics.Table {
 		{"aggregate, dynamic window", cup.RefreshPolicy{AggregateWindow: 30, DynamicWindow: true, DynamicBase: 10}},
 	}
 	for _, c := range configs {
-		p := sc.base(1)
-		p.Replicas = 20
-		p.Config = cup.Defaults()
-		p.RefreshPolicy = c.rp
-		res := cup.Run(p)
+		res := run(append(sc.base(1),
+			cup.WithReplicas(20),
+			cup.WithRefreshPolicy(c.rp))...)
 		t.AddRow(c.label,
 			metrics.I(res.Counters.UpdatesOriginated),
 			metrics.I(res.Counters.UpdateHops),
@@ -235,12 +228,11 @@ func AblationPiggyback(sc Scale) *metrics.Table {
 	t := &metrics.Table{Title: "Ablation A6: clear-bit piggybacking (§2.7)"}
 	t.Header = []string{"mode", "standalone clear-bit hops", "piggybacked", "overhead", "total cost"}
 	for _, piggy := range []bool{false, true} {
-		p := sc.base(10)
-		p.Keys = 16
-		p.Config = cup.Defaults()
-		p.PiggybackClearBits = piggy
-		p.PiggybackWindow = 120
-		res := cup.Run(p)
+		opts := append(sc.base(10), cup.WithKeys(16))
+		if piggy {
+			opts = append(opts, cup.WithPiggyback(120*time.Second))
+		}
+		res := run(opts...)
 		label := "standalone (paper's accounting)"
 		if piggy {
 			label = "piggybacked onto queries/updates"
@@ -273,12 +265,10 @@ func AblationLatency(sc Scale) *metrics.Table {
 			Stubs: 8, Local: 0.005, TransitMin: 0.03, TransitMax: 0.12, Seed: 7}},
 	}
 	for _, mc := range models {
-		p := sc.base(10)
-		p.Latency = mc.m
-		p.Config = cup.Standard()
-		std := cup.Run(p)
-		p.Config = cup.Defaults()
-		c := cup.Run(p)
+		std := run(append(sc.base(10),
+			cup.WithLatencyModel(mc.m), cup.WithStandardCaching())...)
+		c := run(append(sc.base(10),
+			cup.WithLatencyModel(mc.m))...)
 		t.AddRow(mc.label,
 			metrics.I(std.Counters.TotalCost()),
 			metrics.I(c.Counters.TotalCost()),
@@ -316,18 +306,12 @@ func AblationChurn(sc Scale) *metrics.Table {
 			period := sc.duration() / sim.Duration(rounds+1)
 			return workload.NodeChurn{At: 350, Period: period, Rounds: rounds}.Hooks()
 		}
-		pStd := sc.base(5)
-		pStd.Nodes = 256
-		pStd.OverlayKind = kind
-		pStd.Config = cup.Standard()
-		pStd.Hooks = hooks()
-		std := cup.Run(pStd)
-		pCup := sc.base(5)
-		pCup.Nodes = 256
-		pCup.OverlayKind = kind
-		pCup.Config = cup.Defaults()
-		pCup.Hooks = hooks()
-		c := cup.Run(pCup)
+		std := run(append(sc.base(5),
+			cup.WithNodes(256), cup.WithOverlay(kind),
+			cup.WithStandardCaching(), cup.WithHooks(hooks()...))...)
+		c := run(append(sc.base(5),
+			cup.WithNodes(256), cup.WithOverlay(kind),
+			cup.WithHooks(hooks()...))...)
 		t.AddRow(metrics.I(rounds),
 			metrics.I(std.Counters.TotalCost()),
 			metrics.I(c.Counters.TotalCost()),

@@ -4,6 +4,10 @@
 // layout; cmd/cupbench prints them and bench_test.go wraps them in
 // testing.B benchmarks.
 //
+// Every run is built through the public façade — cup.New with functional
+// options — so the experiments exercise exactly the surface downstream
+// users import.
+//
 // Scale controls cost: the paper's full workload (3000 s of querying, up
 // to λ = 1000 queries/s, n up to 4096) runs with Scale{Full: true}; the
 // default reduced scale keeps every experiment fast enough for go test
@@ -12,10 +16,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"cup/internal/cup"
+	"cup"
 	"cup/internal/metrics"
 	"cup/internal/policy"
 	"cup/internal/sim"
@@ -67,16 +72,32 @@ func (s Scale) nodes(n int) int {
 	return 1024
 }
 
-// base builds the common parameter set of the §3.3-§3.6 experiments:
-// n = 2^10 nodes, one key, one replica, lifetime 300 s.
-func (s Scale) base(lambda float64) cup.Params {
-	return cup.Params{
-		Nodes:         1024,
-		OverlayKind:   s.Overlay,
-		QueryRate:     s.rate(lambda),
-		QueryDuration: s.duration(),
-		Seed:          s.seed(),
+// base builds the common options of the §3.3-§3.6 experiments:
+// n = 2^10 nodes, one key, one replica, lifetime 300 s. Every call
+// returns a fresh slice, so per-run appends never alias.
+func (s Scale) base(lambda float64) []cup.Option {
+	return []cup.Option{
+		cup.WithNodes(1024),
+		cup.WithOverlay(s.Overlay),
+		cup.WithQueryRate(s.rate(lambda)),
+		cup.WithQueryDuration(cup.Seconds(float64(s.duration()))),
+		cup.WithSeed(s.seed()),
 	}
+}
+
+// run builds a simulated deployment from opts and executes its scripted
+// workload. Experiments are programming errors when they cannot build.
+func run(opts ...cup.Option) *cup.Result {
+	d, err := cup.New(opts...)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: %v", err))
+	}
+	defer d.Close()
+	res, err := d.Run(context.Background())
+	if err != nil {
+		panic(fmt.Sprintf("experiment: %v", err))
+	}
+	return res
 }
 
 // PushLevels is the level sweep used for Figures 3 and 4.
@@ -87,18 +108,15 @@ var PushLevels = []int{0, 5, 10, 15, 20, 25, 30}
 // the cut-off policy is all-out push, bounded only by the level. Level 0
 // is standard caching.
 func pushLevelRun(sc Scale, lambda float64, level int) *cup.Result {
-	p := sc.base(lambda)
+	opts := sc.base(lambda)
 	if level == 0 {
-		p.Config = cup.Standard()
+		opts = append(opts, cup.WithStandardCaching())
 	} else {
-		p.Config = cup.Config{
-			Mode:                     cup.ModeCUP,
-			Policy:                   policy.AlwaysKeep(),
-			PushLevel:                level,
-			ReplicaIndependentCutoff: true,
-		}
+		opts = append(opts,
+			cup.WithPolicy(policy.AlwaysKeep()),
+			cup.WithPushLevel(level))
 	}
-	return cup.Run(p)
+	return run(opts...)
 }
 
 // FigPushLevel regenerates one push-level figure: total cost and miss
@@ -172,9 +190,7 @@ func Table1Policies(sc Scale) *metrics.Table {
 
 	std := make([]uint64, len(Table1Rates))
 	for i, r := range Table1Rates {
-		p := sc.base(r)
-		p.Config = cup.Standard()
-		std[i] = cup.Run(p).Counters.TotalCost()
+		std[i] = run(append(sc.base(r), cup.WithStandardCaching())...).Counters.TotalCost()
 	}
 	cell := func(total uint64, i int) string {
 		return fmt.Sprintf("%d (%.2f)", total, float64(total)/math.Max(1, float64(std[i])))
@@ -189,10 +205,8 @@ func Table1Policies(sc Scale) *metrics.Table {
 	for _, pr := range table1Policies() {
 		row := []string{pr.label}
 		for i, r := range Table1Rates {
-			p := sc.base(r)
-			p.Config = cup.Defaults()
-			p.Config.Policy = pr.pol
-			row = append(row, cell(cup.Run(p).Counters.TotalCost(), i))
+			res := run(append(sc.base(r), cup.WithPolicy(pr.pol))...)
+			row = append(row, cell(res.Counters.TotalCost(), i))
 		}
 		t.AddRow(row...)
 	}
@@ -234,12 +248,8 @@ func Table2NetworkSize(sc Scale) *metrics.Table {
 	saved := []string{"Saved miss hops per CUP overhead hop"}
 	for _, n := range sizes {
 		n = sc.nodes(n)
-		p := sc.base(1)
-		p.Nodes = n
-		p.Config = cup.Standard()
-		std := cup.Run(p)
-		p.Config = cup.Defaults()
-		cupRes := cup.Run(p)
+		std := run(append(sc.base(1), cup.WithNodes(n), cup.WithStandardCaching())...)
+		cupRes := run(append(sc.base(1), cup.WithNodes(n))...)
 		ratio = append(ratio, metrics.F(
 			float64(cupRes.Counters.MissCost())/math.Max(1, float64(std.Counters.MissCost()))))
 		cupLat = append(cupLat, metrics.F(cupRes.Counters.MissLatencyHops()))
@@ -269,13 +279,8 @@ func Table3ReplicasTable(sc Scale) *metrics.Table {
 	t.Header = []string{"Replicas",
 		"Naive miss cost (misses)", "Repl-indep miss cost (misses)", "Repl-indep total cost"}
 	for _, r := range reps {
-		p := sc.base(1)
-		p.Replicas = r
-		p.Config = cup.Defaults()
-		p.Config.ReplicaIndependentCutoff = false
-		naive := cup.Run(p)
-		p.Config.ReplicaIndependentCutoff = true
-		fixed := cup.Run(p)
+		naive := run(append(sc.base(1), cup.WithReplicas(r), cup.WithNaiveCutoff())...)
+		fixed := run(append(sc.base(1), cup.WithReplicas(r))...)
 		t.AddRow(
 			metrics.I(r),
 			fmt.Sprintf("%d (%d)", naive.Counters.MissCost(), naive.Counters.Misses()),
@@ -297,9 +302,7 @@ func FigCapacity(sc Scale, title string, lambda float64) *metrics.Table {
 	t := &metrics.Table{Title: title}
 	t.Header = []string{"capacity c", "Up-And-Down total", "Once-Down-Always-Down total", "Standard caching"}
 
-	pStd := sc.base(lambda)
-	pStd.Config = cup.Standard()
-	std := cup.Run(pStd).Counters.TotalCost()
+	std := run(append(sc.base(lambda), cup.WithStandardCaching())...).Counters.TotalCost()
 
 	fault := func(c float64) workload.CapacityFault {
 		f := workload.CapacityFault{
@@ -315,13 +318,11 @@ func FigCapacity(sc Scale, title string, lambda float64) *metrics.Table {
 		return f
 	}
 	for _, c := range Capacities {
-		pUp := sc.base(lambda)
-		pUp.Hooks = workload.UpAndDown(fault(c))
-		up := cup.Run(pUp).Counters.TotalCost()
+		up := run(append(sc.base(lambda),
+			cup.WithHooks(workload.UpAndDown(fault(c))...))...).Counters.TotalCost()
 
-		pDown := sc.base(lambda)
-		pDown.Hooks = workload.OnceDownAlwaysDown(fault(c))
-		down := cup.Run(pDown).Counters.TotalCost()
+		down := run(append(sc.base(lambda),
+			cup.WithHooks(workload.OnceDownAlwaysDown(fault(c))...))...).Counters.TotalCost()
 
 		t.AddRow(metrics.F(c), metrics.I(up), metrics.I(down), metrics.I(std))
 	}

@@ -13,6 +13,7 @@ package live
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -68,8 +69,16 @@ type peer struct {
 	node  *cup.Node
 	inbox chan message
 	net   *Network
-	// waiters holds reply channels for local lookups awaiting an answer.
-	waiters map[overlay.Key][]chan []cache.Entry
+	// waiters holds the local lookups awaiting an answer, so responses
+	// fan out to every open client connection and cancelled lookups can
+	// deregister instead of leaking.
+	waiters map[overlay.Key][]*lookupWaiter
+}
+
+// lookupWaiter is one open local client connection. reply is buffered so
+// an answer racing a cancellation never blocks the peer goroutine.
+type lookupWaiter struct {
+	reply chan []cache.Entry
 }
 
 // Config parameterizes a live network.
@@ -87,6 +96,32 @@ type Config struct {
 	Seed int64
 	// InboxDepth bounds each peer's mailbox (default 1024).
 	InboxDepth int
+	// Observer, when set, receives the protocol event stream from every
+	// peer. It is called from peer goroutines concurrently and must be
+	// safe for concurrent use (cup.Bus is).
+	Observer cup.Observer
+}
+
+// withDefaults fills unset fields from the shared defaults table in
+// internal/cup — the same table the simulator's Params defaulting uses,
+// so the two runtimes cannot drift.
+func (cfg Config) withDefaults() Config {
+	if cfg.HopDelay == 0 {
+		cfg.HopDelay = cup.DefaultLiveHopDelay
+	}
+	if cfg.Node.Policy == nil {
+		cfg.Node = cup.Defaults()
+	}
+	if cfg.InboxDepth == 0 {
+		cfg.InboxDepth = cup.DefaultInboxDepth
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = cup.DefaultSeed
+	}
+	if cfg.Overlay == "" {
+		cfg.Overlay = cup.DefaultOverlayKind
+	}
+	return cfg
 }
 
 // NewNetwork builds an overlay of cfg.Nodes peers (a CAN unless
@@ -96,22 +131,10 @@ func NewNetwork(cfg Config) *Network {
 	if cfg.Nodes <= 0 {
 		panic("live: Nodes must be positive")
 	}
-	if cfg.HopDelay == 0 {
-		cfg.HopDelay = time.Millisecond
-	}
-	if cfg.Node.Policy == nil {
-		cfg.Node = cup.Defaults()
-	}
-	if cfg.InboxDepth == 0 {
-		cfg.InboxDepth = 1024
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-	if cfg.Overlay == "" {
-		cfg.Overlay = "can"
-	}
-	ov := buildOverlay(cfg.Overlay, cfg.Nodes, cfg.Seed)
+	cfg = cfg.withDefaults()
+	// The overlay seed derivation is shared with the simulator, so the
+	// same seed and options build the same topology on either transport.
+	ov := buildOverlay(cfg.Overlay, cfg.Nodes, cup.OverlaySeed(cfg.Seed))
 	n := &Network{
 		ov:     ov,
 		router: cup.NewOverlayRouter(ov),
@@ -127,8 +150,9 @@ func NewNetwork(cfg Config) *Network {
 			node:    cup.NewNode(id, cfg.Node, n.router, n.now),
 			inbox:   make(chan message, cfg.InboxDepth),
 			net:     n,
-			waiters: make(map[overlay.Key][]chan []cache.Entry),
+			waiters: make(map[overlay.Key][]*lookupWaiter),
 		}
+		p.node.SetObserver(cfg.Observer)
 		n.nodes[i] = p
 		n.wg.Add(1)
 		go p.loop(&n.wg)
@@ -144,6 +168,19 @@ func (n *Network) Now() sim.Time { return n.now() }
 
 // Size returns the number of peers.
 func (n *Network) Size() int { return len(n.nodes) }
+
+// HopDelay returns the configured per-hop wall-clock latency.
+func (n *Network) HopDelay() time.Duration { return n.delay }
+
+// IsClosed reports whether Close has been called.
+func (n *Network) IsClosed() bool {
+	select {
+	case <-n.closed:
+		return true
+	default:
+		return false
+	}
+}
 
 // Overlay exposes the underlying overlay (read-only use).
 func (n *Network) Overlay() overlay.Overlay { return n.ov }
@@ -217,61 +254,136 @@ func (p *peer) dispatch(acts []cup.Action) {
 			atomic.AddUint64(&p.net.stats.ClearBitMsgs, 1)
 			p.net.send(a.To, message{kind: msgClearBit, from: p.id, key: a.Key})
 		case cup.ActDeliverLocal:
-			for _, ch := range p.waiters[a.Key] {
-				ch <- a.Entries
+			for _, w := range p.waiters[a.Key] {
+				w.reply <- a.Entries
 			}
 			delete(p.waiters, a.Key)
 		}
 	}
 }
 
+// ErrClosed is returned by client operations racing a Close.
+var ErrClosed = errors.New("live: network closed")
+
 // Lookup posts a search query for key at node id and waits for the index
 // entries (or ctx cancellation). A fresh locally cached answer returns
-// immediately; otherwise the query travels the overlay.
+// immediately; otherwise the query travels the overlay. A cancelled
+// lookup deregisters its open connection at the peer, so abandoned
+// queries on a slow or partitioned network do not accumulate state.
 func (n *Network) Lookup(ctx context.Context, id overlay.NodeID, key overlay.Key) ([]cache.Entry, error) {
-	reply := make(chan []cache.Entry, 1)
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		return nil, fmt.Errorf("live: lookup at unknown node %v", id)
+	}
+	w := &lookupWaiter{reply: make(chan []cache.Entry, 1)}
 	ctrl := message{kind: msgControl, ctrl: func(p *peer) {
 		acts := p.node.HandleQuery(cup.LocalClient, key, 0)
 		// A synchronous answer arrives as a DeliverLocal action; register
 		// the waiter first so both paths converge.
-		p.waiters[key] = append(p.waiters[key], reply)
+		p.waiters[key] = append(p.waiters[key], w)
 		p.dispatch(acts)
 	}}
 	select {
 	case n.nodes[id].inbox <- ctrl:
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	case <-n.closed:
+		return nil, ErrClosed
 	}
 	select {
-	case entries := <-reply:
+	case entries := <-w.reply:
 		return entries, nil
 	case <-ctx.Done():
+		n.forgetWaiter(id, key, w)
 		return nil, ctx.Err()
 	case <-n.closed:
-		return nil, fmt.Errorf("live: network closed")
+		return nil, ErrClosed
+	}
+}
+
+// forgetWaiter asks the peer to drop a cancelled lookup's open
+// connection. Best-effort and non-blocking: if the network is shutting
+// down or the inbox is saturated, the buffered reply channel still keeps
+// a late answer from blocking the peer goroutine.
+func (n *Network) forgetWaiter(id overlay.NodeID, key overlay.Key, w *lookupWaiter) {
+	ctrl := message{kind: msgControl, ctrl: func(p *peer) {
+		ws := p.waiters[key]
+		for i, got := range ws {
+			if got == w {
+				p.waiters[key] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+		if len(p.waiters[key]) == 0 {
+			delete(p.waiters, key)
+		}
+	}}
+	select {
+	case n.nodes[id].inbox <- ctrl:
+	case <-n.closed:
+	default:
 	}
 }
 
 // Authority returns the node owning key.
 func (n *Network) Authority(key overlay.Key) overlay.NodeID { return n.ov.Owner(key) }
 
+// control runs fn on node id's goroutine with exclusive access to its
+// protocol state and blocks until it completes, ctx cancels, or the
+// network closes. On cancellation fn may still run later — it was already
+// queued — but the caller stops waiting.
+func (n *Network) control(ctx context.Context, id overlay.NodeID, fn func(*peer)) error {
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		return fmt.Errorf("live: control of unknown node %v", id)
+	}
+	done := make(chan struct{})
+	ctrl := message{kind: msgControl, ctrl: func(p *peer) {
+		fn(p)
+		close(done)
+	}}
+	select {
+	case n.nodes[id].inbox <- ctrl:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-n.closed:
+		return ErrClosed
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-n.closed:
+		return ErrClosed
+	}
+}
+
 // AddReplica installs an index entry for (key, replica) at its authority
 // and propagates the birth as an Append update. lifetime bounds the
 // entry's freshness; replicas should Refresh before it elapses.
 func (n *Network) AddReplica(key overlay.Key, replica int, addr string, lifetime time.Duration) {
-	n.replicaEvent(key, replica, addr, lifetime, cup.Append)
+	_ = n.AddReplicaCtx(context.Background(), key, replica, addr, lifetime)
+}
+
+// AddReplicaCtx is AddReplica with cancellation: it returns once the
+// authority has registered the replica (propagation continues async).
+func (n *Network) AddReplicaCtx(ctx context.Context, key overlay.Key, replica int, addr string, lifetime time.Duration) error {
+	return n.replicaEvent(ctx, key, replica, addr, lifetime, cup.Append)
 }
 
 // Refresh extends the lifetime of (key, replica), propagating a Refresh
 // update to interested peers.
 func (n *Network) Refresh(key overlay.Key, replica int, addr string, lifetime time.Duration) {
-	n.replicaEvent(key, replica, addr, lifetime, cup.Refresh)
+	_ = n.RefreshCtx(context.Background(), key, replica, addr, lifetime)
 }
 
-func (n *Network) replicaEvent(key overlay.Key, replica int, addr string, lifetime time.Duration, ty cup.UpdateType) {
-	auth := n.Authority(key)
+// RefreshCtx is Refresh with cancellation.
+func (n *Network) RefreshCtx(ctx context.Context, key overlay.Key, replica int, addr string, lifetime time.Duration) error {
+	return n.replicaEvent(ctx, key, replica, addr, lifetime, cup.Refresh)
+}
+
+func (n *Network) replicaEvent(ctx context.Context, key overlay.Key, replica int, addr string, lifetime time.Duration, ty cup.UpdateType) error {
 	life := sim.Duration(lifetime.Seconds())
-	ctrl := message{kind: msgControl, ctrl: func(p *peer) {
+	return n.control(ctx, n.Authority(key), func(p *peer) {
 		e := cache.Entry{
 			Key: key, Replica: replica, Addr: addr,
 			Expires: p.net.now().Add(life),
@@ -282,57 +394,51 @@ func (n *Network) replicaEvent(key overlay.Key, replica int, addr string, lifeti
 			Expires: e.Expires, Lifetime: life,
 		}
 		p.dispatch(p.node.OriginateUpdate(u))
-	}}
-	select {
-	case n.nodes[auth].inbox <- ctrl:
-	case <-n.closed:
-	}
+	})
 }
 
 // RemoveReplica deletes (key, replica) at the authority and propagates a
 // Delete update so caches do not serve the dead replica until expiry.
 func (n *Network) RemoveReplica(key overlay.Key, replica int) {
-	auth := n.Authority(key)
-	ctrl := message{kind: msgControl, ctrl: func(p *peer) {
+	_ = n.RemoveReplicaCtx(context.Background(), key, replica)
+}
+
+// RemoveReplicaCtx is RemoveReplica with cancellation.
+func (n *Network) RemoveReplicaCtx(ctx context.Context, key overlay.Key, replica int) error {
+	return n.control(ctx, n.Authority(key), func(p *peer) {
 		p.node.RemoveLocal(key, replica)
 		u := cup.Update{
 			Key: key, Type: cup.Delete, Replica: replica,
 			Expires: p.net.now().Add(sim.Duration(3600)),
 		}
 		p.dispatch(p.node.OriginateUpdate(u))
-	}}
-	select {
-	case n.nodes[auth].inbox <- ctrl:
-	case <-n.closed:
-	}
+	})
 }
 
 // SetCapacity adjusts a peer's outgoing update capacity fraction
 // (negative restores full capacity), as in the §3.7 experiments.
 func (n *Network) SetCapacity(id overlay.NodeID, c float64) {
-	ctrl := message{kind: msgControl, ctrl: func(p *peer) { p.node.SetCapacity(c) }}
-	select {
-	case n.nodes[id].inbox <- ctrl:
-	case <-n.closed:
-	}
+	_ = n.control(context.Background(), id, func(p *peer) { p.node.SetCapacity(c) })
 }
 
 // Inspect runs fn on node id's goroutine with exclusive access to its
 // protocol state; it blocks until fn completes. Intended for tests and
 // diagnostics.
 func (n *Network) Inspect(id overlay.NodeID, fn func(*cup.Node)) {
-	done := make(chan struct{})
-	ctrl := message{kind: msgControl, ctrl: func(p *peer) {
-		fn(p.node)
-		close(done)
-	}}
+	_ = n.control(context.Background(), id, func(p *peer) { fn(p.node) })
+}
+
+// Quiesced reports whether no messages were in flight across one probe
+// window: it samples the traffic counters, waits for window, and samples
+// again. Settling callers poll it until two samples agree.
+func (n *Network) Quiesced(window time.Duration) bool {
+	before := n.Stats()
+	timer := time.NewTimer(window)
+	defer timer.Stop()
 	select {
-	case n.nodes[id].inbox <- ctrl:
+	case <-timer.C:
 	case <-n.closed:
-		return
+		return true
 	}
-	select {
-	case <-done:
-	case <-n.closed:
-	}
+	return n.Stats() == before
 }

@@ -161,6 +161,19 @@ func (s *Scheduler) Step() bool {
 	return false
 }
 
+// NextTime returns the time of the next pending event, or Infinity when
+// the queue is empty.
+func (s *Scheduler) NextTime() Time { return s.peekTime() }
+
+// AdvanceTo moves the clock forward to t without firing events; a t in
+// the past or Infinity is ignored. Drivers use it to close out a run at
+// its configured end time after the last event fires.
+func (s *Scheduler) AdvanceTo(t Time) {
+	if t > s.now && t != Infinity {
+		s.now = t
+	}
+}
+
 // peekTime returns the time of the next non-cancelled event, or Infinity.
 func (s *Scheduler) peekTime() Time {
 	for len(s.queue) > 0 {

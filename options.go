@@ -1,0 +1,225 @@
+package cup
+
+import (
+	"time"
+
+	internal "cup/internal/cup"
+	"cup/internal/policy"
+	"cup/internal/sim"
+)
+
+// Transport selects the substrate that executes a Deployment: the
+// discrete-event simulator (virtual time, deterministic, single-threaded)
+// or the live goroutine-per-peer network (wall-clock time, concurrent).
+// Both run the identical protocol state machine and emit the identical
+// event stream.
+type Transport int
+
+const (
+	// Simulated runs the deployment on the discrete-event scheduler.
+	Simulated Transport = iota
+	// Live runs the deployment as one goroutine per peer.
+	Live
+)
+
+// String implements fmt.Stringer.
+func (t Transport) String() string {
+	if t == Live {
+		return "live"
+	}
+	return "simulated"
+}
+
+// Option configures a Deployment built by New. Unset knobs fall back to
+// the paper's defaults from the shared internal/cup defaults table — the
+// same table for both transports, so they cannot drift.
+type Option func(*options)
+
+// options is the one shared configuration layer behind New. The
+// sim-shaped parameter set is canonical; live-only knobs ride alongside.
+type options struct {
+	transport Transport
+	p         internal.Params
+	// liveHop is the wall-clock per-hop latency for the live transport;
+	// p.HopDelay carries the same value in virtual seconds for the
+	// simulator, so one WithHopDelay serves both.
+	liveHop    time.Duration
+	inboxDepth int
+	observers  []Observer
+}
+
+// cfg lazily initializes the node configuration from Defaults so that
+// field-level options (WithPolicy, WithPushLevel, ...) start from the
+// paper's headline configuration instead of an invalid zero Config.
+func (o *options) cfg() *Config {
+	if o.p.Config.Policy == nil {
+		o.p.Config = Defaults()
+	}
+	return &o.p.Config
+}
+
+// WithTransport selects Simulated (default) or Live execution.
+func WithTransport(t Transport) Option {
+	return func(o *options) { o.transport = t }
+}
+
+// WithNodes sets the overlay size (default 1024, the paper's n = 2^10).
+func WithNodes(n int) Option {
+	return func(o *options) { o.p.Nodes = n }
+}
+
+// WithOverlay selects the routing substrate by its overlay-registry name:
+// "can" (default), "chord", "kademlia", or any registered kind. An empty
+// kind keeps the default.
+func WithOverlay(kind string) Option {
+	return func(o *options) { o.p.OverlayKind = kind }
+}
+
+// WithKeys sets the number of distinct workload keys (default 1).
+func WithKeys(n int) Option {
+	return func(o *options) { o.p.Keys = n }
+}
+
+// WithZipf skews workload key popularity (0 = uniform).
+func WithZipf(skew float64) Option {
+	return func(o *options) { o.p.ZipfSkew = skew }
+}
+
+// WithReplicas sets the number of replicas per workload key (default 1).
+func WithReplicas(n int) Option {
+	return func(o *options) { o.p.Replicas = n }
+}
+
+// WithLifetime sets the replica lifetime (default 300 s, the paper's).
+func WithLifetime(d time.Duration) Option {
+	return func(o *options) { o.p.Lifetime = sim.Duration(d.Seconds()) }
+}
+
+// WithHopDelay sets the per-hop network latency for either transport: the
+// simulator models it in virtual time (default 100 ms), the live network
+// sleeps it in wall-clock time (default 1 ms).
+func WithHopDelay(d time.Duration) Option {
+	return func(o *options) {
+		o.p.HopDelay = sim.Duration(d.Seconds())
+		o.liveHop = d
+	}
+}
+
+// WithLatencyModel supplies heterogeneous per-link latencies (see
+// internal/netmodel), overriding the scalar hop delay. Simulated only.
+func WithLatencyModel(m LatencyModel) Option {
+	return func(o *options) { o.p.Latency = m }
+}
+
+// WithQueryRate sets the network-wide Poisson query rate λ in queries/s
+// for the scripted workload (default 1).
+func WithQueryRate(lambda float64) Option {
+	return func(o *options) { o.p.QueryRate = lambda }
+}
+
+// WithQueryWindow bounds the scripted query workload: queries start at
+// start (default: one lifetime, letting replicas register) and last for
+// duration (default 3000 s, the paper's window).
+func WithQueryWindow(start, duration time.Duration) Option {
+	return func(o *options) {
+		o.p.QueryStart = sim.Duration(start.Seconds())
+		o.p.QueryDuration = sim.Duration(duration.Seconds())
+	}
+}
+
+// WithQueryDuration sets only the query-window length.
+func WithQueryDuration(duration time.Duration) Option {
+	return func(o *options) { o.p.QueryDuration = sim.Duration(duration.Seconds()) }
+}
+
+// WithDrain extends a simulated run past the query window so in-flight
+// traffic and tree teardown complete (default: one lifetime).
+func WithDrain(d time.Duration) Option {
+	return func(o *options) { o.p.Drain = sim.Duration(d.Seconds()) }
+}
+
+// WithConfig replaces the whole per-node protocol configuration. Compose
+// with the field-level options below, which apply on top of it (order
+// matters: WithConfig overwrites earlier field-level options).
+func WithConfig(c Config) Option {
+	return func(o *options) { o.p.Config = c }
+}
+
+// WithPolicy sets the §3.4 cut-off policy on top of Defaults().
+func WithPolicy(p Policy) Option {
+	return func(o *options) { o.cfg().Policy = p }
+}
+
+// WithPushLevel caps proactive update propagation at this depth from the
+// authority (§3.3); UnlimitedPushLevel disables the cap.
+func WithPushLevel(level int) Option {
+	return func(o *options) { o.cfg().PushLevel = level }
+}
+
+// WithStandardCaching runs the expiration-based baseline instead of CUP.
+func WithStandardCaching() Option {
+	return func(o *options) { o.p.Config = Standard() }
+}
+
+// WithNaiveCutoff disables the §3.6 replica-independent cut-off fix.
+func WithNaiveCutoff() Option {
+	return func(o *options) { o.cfg().ReplicaIndependentCutoff = false }
+}
+
+// WithRefreshPolicy applies the §3.6 authority-side refresh suppression
+// and aggregation techniques. Simulated only.
+func WithRefreshPolicy(rp RefreshPolicy) Option {
+	return func(o *options) { o.p.RefreshPolicy = rp }
+}
+
+// WithPiggyback enables §2.7 clear-bit piggybacking with the given
+// carrier window. Simulated only.
+func WithPiggyback(window time.Duration) Option {
+	return func(o *options) {
+		o.p.PiggybackClearBits = true
+		o.p.PiggybackWindow = sim.Duration(window.Seconds())
+	}
+}
+
+// WithSeed drives all randomness — overlay construction (both
+// transports, identical topology) and the simulated workload. Identical
+// options give identical simulated runs.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.p.Seed = seed }
+}
+
+// WithHooks schedules timed interventions into a simulated run (fault
+// injection, churn scripts; see internal/workload).
+func WithHooks(hooks ...Hook) Option {
+	return func(o *options) { o.p.Hooks = append(o.p.Hooks, hooks...) }
+}
+
+// WithoutWorkload skips the scripted workload (replica births and Poisson
+// queries) on the simulated transport: the deployment starts idle and is
+// driven through the client API (Lookup, Publish), exactly like a live
+// one. The live transport is always workload-free.
+func WithoutWorkload() Option {
+	return func(o *options) { o.p.NoWorkload = true }
+}
+
+// WithInboxDepth bounds each live peer's mailbox (default 1024).
+func WithInboxDepth(n int) Option {
+	return func(o *options) { o.inboxDepth = n }
+}
+
+// WithObserver attaches a synchronous observer to the deployment's event
+// bus. On the live transport it is called from peer goroutines
+// concurrently and must be safe for concurrent use.
+func WithObserver(obs Observer) Option {
+	return func(o *options) { o.observers = append(o.observers, obs) }
+}
+
+// Policy is a §3.4 cut-off policy (see internal/policy: SecondChance,
+// Linear, Logarithmic, AlwaysKeep, NeverKeep).
+type Policy = policy.Policy
+
+// Seconds converts float seconds — the unit of the paper's parameters
+// and of flag-driven callers — into the duration options' type.
+func Seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,160 @@
+// Sim/live event parity: the same seed, workload, and options must
+// produce the same event *sequence shape* — identical query event counts
+// and per-kind push/cut-off counts within tolerance — whether the
+// deployment runs on the discrete-event scheduler or on goroutines.
+// Both transports share one overlay-seed derivation, so the topologies
+// are identical; the protocol core emits the events, so any divergence
+// here means the transports drifted.
+package cup_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"cup"
+	"cup/internal/overlay"
+)
+
+// parityWorkload drives one deployment through a fixed interactive
+// script: publish two replicas of two keys, a round of lookups from
+// seeded-random peers, two refresh rounds (so proactive pushes travel
+// the interest trees and cut-offs fire at leaves), and a final lookup
+// round. It returns the per-kind event counts after the network settles.
+func parityWorkload(t *testing.T, transport cup.Transport, kind string) map[cup.EventKind]int {
+	t.Helper()
+	d, err := cup.New(
+		cup.WithTransport(transport),
+		cup.WithOverlay(kind),
+		cup.WithNodes(24),
+		cup.WithSeed(7),
+		cup.WithoutWorkload(),
+		cup.WithHopDelay(500*time.Microsecond),
+	)
+	if err != nil {
+		t.Fatalf("New(%v, %s): %v", transport, kind, err)
+	}
+	defer d.Close()
+
+	var mu sync.Mutex
+	counts := make(map[cup.EventKind]int)
+	detach := d.Observe(cup.ObserverFunc(func(e cup.Event) {
+		mu.Lock()
+		counts[e.Kind]++
+		mu.Unlock()
+	}))
+	defer detach()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	keys := []cup.Key{"alpha", "beta"}
+	publish := func() {
+		for i, k := range keys {
+			for r := 0; r < 2; r++ {
+				addr := fmt.Sprintf("198.51.100.%d", 10*i+r+1)
+				if err := d.Publish(ctx, k, r, addr, time.Hour); err != nil {
+					t.Fatalf("publish %q/%d: %v", k, r, err)
+				}
+			}
+		}
+	}
+	lookups := func(rng *rand.Rand, n int) {
+		for i := 0; i < n; i++ {
+			at := cup.NodeID(rng.Intn(d.Size()))
+			k := keys[i%len(keys)]
+			if _, err := d.LookupAt(ctx, at, k); err != nil {
+				t.Fatalf("lookup %q at %v: %v", k, at, err)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	publish()        // births: Append updates, no interest yet
+	lookups(rng, 12) // build the interest trees
+	publish()        // refresh round 1: pushes travel the trees
+	publish()        // refresh round 2: leaves with no queries cut off
+	lookups(rng, 6)  // post-refresh lookups hit warm caches
+
+	if err := d.Settle(ctx); err != nil {
+		t.Fatalf("settle: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[cup.EventKind]int, len(counts))
+	for k, v := range counts {
+		out[k] = v
+	}
+	return out
+}
+
+// within reports whether a and b agree up to an absolute slack or a
+// relative fraction of the larger count.
+func within(a, b, abs int, rel float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d <= abs {
+		return true
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return float64(d) <= rel*float64(m)
+}
+
+func TestSimLiveEventParity(t *testing.T) {
+	for _, kind := range overlay.Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			simC := parityWorkload(t, cup.Simulated, kind)
+			liveC := parityWorkload(t, cup.Live, kind)
+
+			// Client-visible events are exact: every lookup issues one
+			// query and receives one answer on either transport.
+			for _, k := range []cup.EventKind{cup.EvQueryIssued, cup.EvQueryAnswered} {
+				if simC[k] != liveC[k] {
+					t.Errorf("%v: sim %d, live %d (must be identical)", k, simC[k], liveC[k])
+				}
+			}
+			if simC[cup.EvQueryIssued] != 18 {
+				t.Errorf("query-issued = %d, want 18 (the scripted lookups)", simC[cup.EvQueryIssued])
+			}
+
+			// Propagation events race wall-clock delivery on the live
+			// transport, so counts carry tolerance — but the refresh
+			// rounds must push updates through the trees on both.
+			if simC[cup.EvUpdatePushed] == 0 || liveC[cup.EvUpdatePushed] == 0 {
+				t.Errorf("no proactive pushes: sim %d, live %d",
+					simC[cup.EvUpdatePushed], liveC[cup.EvUpdatePushed])
+			}
+			for _, k := range []cup.EventKind{cup.EvUpdatePushed, cup.EvCutoffFired} {
+				if !within(simC[k], liveC[k], 6, 0.5) {
+					t.Errorf("%v: sim %d, live %d (outside tolerance)", k, simC[k], liveC[k])
+				}
+			}
+
+			// No membership changes in this script.
+			if simC[cup.EvNodeJoined]+simC[cup.EvNodeLeft]+liveC[cup.EvNodeJoined]+liveC[cup.EvNodeLeft] != 0 {
+				t.Errorf("unexpected membership events: sim %v, live %v", simC, liveC)
+			}
+		})
+	}
+}
+
+// The simulated transport is fully deterministic: the same options must
+// reproduce the identical event tally, not just a similar shape.
+func TestSimulatedEventStreamDeterministic(t *testing.T) {
+	a := parityWorkload(t, cup.Simulated, "can")
+	b := parityWorkload(t, cup.Simulated, "can")
+	for _, k := range cup.EventKinds {
+		if a[k] != b[k] {
+			t.Fatalf("%v: %d vs %d across identical simulated runs", k, a[k], b[k])
+		}
+	}
+}
