@@ -2,30 +2,118 @@
 // evaluation section. By default every experiment runs at a reduced scale
 // that finishes in seconds; -full uses the paper's exact parameters
 // (3000 s of querying, λ up to 1000 queries/s, networks up to 4096 nodes).
+// -json instead benchmarks every registered scenario (traffic generator +
+// fault scripts) and writes the machine-readable perf trajectory to
+// BENCH_scenarios.json.
 //
-//	cupbench                 # all experiments, reduced scale
-//	cupbench -exp table1     # one experiment
-//	cupbench -full -exp fig4 # paper-scale run
-//	cupbench -list           # list experiment names
+//	cupbench                     # all experiments, reduced scale
+//	cupbench -exp table1         # one experiment
+//	cupbench -full -exp fig4     # paper-scale run
+//	cupbench -list               # list experiment names
+//	cupbench -json               # benchmark the scenario catalog
+//	cupbench -json -scenario flashcrowd
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"cup"
 	"cup/internal/experiment"
 	"cup/internal/overlay"
 )
 
+// scenarioBench is one row of BENCH_scenarios.json: wall-clock cost and
+// workload volume of a reduced-scale run of one registered scenario.
+type scenarioBench struct {
+	Scenario          string  `json:"scenario"`
+	Overlay           string  `json:"overlay"`
+	Nodes             int     `json:"nodes"`
+	Seed              int64   `json:"seed"`
+	NsPerOp           int64   `json:"ns_per_op"`
+	Queries           uint64  `json:"queries"`
+	QueriesPerSec     float64 `json:"queries_per_sec"`
+	UpdatesOriginated uint64  `json:"updates_originated"`
+	UpdateHops        uint64  `json:"update_hops"`
+	TotalCostHops     uint64  `json:"total_cost_hops"`
+}
+
+// benchScenarios runs every named scenario once on the simulated
+// transport at reduced scale and writes BENCH_scenarios.json.
+func benchScenarios(names []string, ov string, seed int64) error {
+	const (
+		nodes    = 256
+		rate     = 5.0
+		duration = 600.0
+	)
+	rows := make([]scenarioBench, 0, len(names))
+	for _, name := range names {
+		sc, err := cup.BuildScenario(name)
+		if err != nil {
+			return err
+		}
+		opts := []cup.Option{
+			cup.WithNodes(nodes),
+			cup.WithOverlay(ov),
+			cup.WithKeys(4),
+			cup.WithZipf(1.1),
+			cup.WithQueryRate(rate),
+			cup.WithQueryDuration(cup.Seconds(duration)),
+			cup.WithSeed(seed),
+			cup.WithScenario(sc),
+		}
+		d, err := cup.New(opts...)
+		if err != nil {
+			return fmt.Errorf("scenario %q: %v", name, err)
+		}
+		start := time.Now()
+		res, err := d.Run(context.Background())
+		elapsed := time.Since(start)
+		d.Close()
+		if err != nil {
+			return fmt.Errorf("scenario %q: %v", name, err)
+		}
+		c := res.Counters
+		rows = append(rows, scenarioBench{
+			Scenario:          name,
+			Overlay:           res.Params.OverlayKind,
+			Nodes:             nodes,
+			Seed:              seed,
+			NsPerOp:           elapsed.Nanoseconds(),
+			Queries:           c.Queries,
+			QueriesPerSec:     float64(c.Queries) / elapsed.Seconds(),
+			UpdatesOriginated: c.UpdatesOriginated,
+			UpdateHops:        c.UpdateHops,
+			TotalCostHops:     c.TotalCost(),
+		})
+		fmt.Printf("%-14s %12v %8d queries %10.0f q/s %8d updates\n",
+			name, elapsed.Round(time.Millisecond), c.Queries,
+			float64(c.Queries)/elapsed.Seconds(), c.UpdatesOriginated)
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_scenarios.json", append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote BENCH_scenarios.json")
+	return nil
+}
+
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment name or 'all'")
-		full = flag.Bool("full", false, "run at the paper's full scale")
-		seed = flag.Int64("seed", 1, "random seed")
-		ov   = flag.String("overlay", "", "substrate for all experiments ("+overlay.KindList()+"; default: the paper's CAN)")
-		list = flag.Bool("list", false, "list experiment names and exit")
+		exp      = flag.String("exp", "all", "experiment name or 'all'")
+		full     = flag.Bool("full", false, "run at the paper's full scale")
+		seed     = flag.Int64("seed", 1, "random seed")
+		ov       = flag.String("overlay", "", "substrate for all experiments ("+overlay.KindList()+"; default: the paper's CAN)")
+		list     = flag.Bool("list", false, "list experiment names and exit")
+		jsonOut  = flag.Bool("json", false, "benchmark the scenario catalog and write BENCH_scenarios.json")
+		scenario = flag.String("scenario", "", "with -json: benchmark only this registered scenario")
 	)
 	flag.Parse()
 
@@ -37,6 +125,18 @@ func main() {
 	if *list {
 		for _, name := range experiment.Names() {
 			fmt.Println(name)
+		}
+		return
+	}
+
+	if *jsonOut {
+		names := cup.ScenarioNames()
+		if *scenario != "" {
+			names = []string{*scenario}
+		}
+		if err := benchScenarios(names, *ov, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "cupbench:", err)
+			os.Exit(1)
 		}
 		return
 	}

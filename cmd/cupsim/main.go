@@ -1,10 +1,14 @@
-// Command cupsim runs one CUP (or standard-caching) simulation through
-// the unified cup.New deployment API and prints the cost counters the
-// paper reports. Examples:
+// Command cupsim runs one CUP (or standard-caching) deployment through
+// the unified cup.New API and prints the cost counters the paper
+// reports. The -scenario flag picks a workload from the scenario
+// registry (traffic generator + fault scripts); -transport replays the
+// same scenario on the live goroutine network instead of the
+// discrete-event simulator. Examples:
 //
 //	cupsim -nodes 1024 -rate 1 -policy second-chance
 //	cupsim -nodes 1024 -rate 1000 -mode standard
-//	cupsim -nodes 1024 -rate 10 -policy always -pushlevel 20
+//	cupsim -scenario flashcrowd -nodes 512
+//	cupsim -scenario diurnal -transport live -nodes 64 -duration 120 -timescale 40
 package main
 
 import (
@@ -61,22 +65,54 @@ func main() {
 		pushLevel = flag.Int("pushlevel", cup.UnlimitedPushLevel, "sender-side push level (-1 = unlimited)")
 		naive     = flag.Bool("naive-cutoff", false, "disable the replica-independent cut-off fix")
 		seed      = flag.Int64("seed", 1, "random seed")
+		scenario  = flag.String("scenario", "", "scenario from the registry: "+strings.Join(cup.ScenarioNames(), "|")+" (empty = paper's Poisson workload)")
+		transport = flag.String("transport", "sim", "transport: sim|live")
+		timescale = flag.Float64("timescale", 40, "live transport: virtual scenario seconds replayed per wall-clock second")
 	)
 	flag.Parse()
 
 	opts := []cup.Option{
-		cup.WithTransport(cup.Simulated),
 		cup.WithNodes(*nodes),
 		cup.WithOverlay(*overlayK),
 		cup.WithKeys(*keys),
 		cup.WithZipf(*zipf),
 		cup.WithReplicas(*replicas),
 		cup.WithLifetime(cup.Seconds(*lifetime)),
-		cup.WithHopDelay(cup.Seconds(*hop)),
 		cup.WithQueryRate(*rate),
 		cup.WithQueryDuration(cup.Seconds(*duration)),
 		cup.WithSeed(*seed),
 	}
+	live := false
+	switch *transport {
+	case "sim", "simulated", "":
+		opts = append(opts,
+			cup.WithTransport(cup.Simulated),
+			cup.WithHopDelay(cup.Seconds(*hop)))
+	case "live":
+		live = true
+		opts = append(opts,
+			cup.WithTransport(cup.Live),
+			cup.WithTimeScale(*timescale))
+		// The sim's 100 ms default hop would crawl in wall-clock time;
+		// live keeps its own 1 ms default unless -hop is set explicitly.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "hop" {
+				opts = append(opts, cup.WithHopDelay(cup.Seconds(*hop)))
+			}
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "cupsim: unknown transport %q (sim|live)\n", *transport)
+		os.Exit(2)
+	}
+	if *scenario == "" {
+		*scenario = "paper"
+	}
+	sc, err := cup.BuildScenario(*scenario)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cupsim:", err)
+		os.Exit(2)
+	}
+	opts = append(opts, cup.WithScenario(sc))
 
 	cfg := cup.Defaults()
 	switch *mode {
@@ -111,8 +147,17 @@ func main() {
 	}
 
 	c := &res.Counters
-	fmt.Printf("nodes=%d overlay=%s keys=%d replicas=%d λ=%g mode=%s policy=%s pushlevel=%d seed=%d\n",
-		*nodes, *overlayK, *keys, *replicas, *rate, *mode, cfg.Policy.Name(), cfg.PushLevel, *seed)
+	fmt.Printf("scenario=%s transport=%s nodes=%d overlay=%s keys=%d replicas=%d λ=%g mode=%s policy=%s pushlevel=%d seed=%d\n",
+		*scenario, *transport, *nodes, *overlayK, *keys, *replicas, *rate, *mode, cfg.Policy.Name(), cfg.PushLevel, *seed)
+	if live {
+		// The live runtime reports message counts folded into the hop
+		// fields; the per-query taxonomy is a simulator-side measurement.
+		fmt.Printf("query msgs         %d\n", c.QueryHops)
+		fmt.Printf("update msgs        %d\n", c.UpdateHops)
+		fmt.Printf("clear-bit msgs     %d\n", c.ClearBitHops)
+		fmt.Printf("total msgs         %d\n", c.TotalCost())
+		return
+	}
 	fmt.Printf("queries            %d\n", c.Queries)
 	fmt.Printf("hits               %d (%.1f%%)\n", c.Hits, 100*float64(c.Hits)/max1(float64(c.Queries)))
 	fmt.Printf("misses             %d (first-time %d, freshness %d, coalesced %d)\n",

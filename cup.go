@@ -33,6 +33,19 @@
 //	d, err := cup.New(cup.WithQueryRate(10))
 //	res, err := d.Run(ctx)
 //
+// # Scenarios
+//
+// Workloads are first-class and composable: a Traffic generates the
+// client query stream (PoissonTraffic is the paper's §3.2 default;
+// FlashCrowd, DiurnalWave, ZipfDrift, and ClosedLoop model other
+// shapes), a Fault scripts interventions (CapacityFault, NodeChurn,
+// ReplicaChurn) against the transport-agnostic FaultSurface, and a
+// Scenario bundles the two. Install with WithTraffic / WithFaults /
+// WithScenario; both transports consume them identically, the live one
+// replaying the schedule in wall-clock time under WithTimeScale. The
+// scenario registry (RegisterScenario, BuildScenario, ScenarioNames)
+// backs the cupsim and cupbench -scenario flags.
+//
 // # Compatibility
 //
 // Run(Params) and NewSimulation(Params) remain as thin wrappers over the

@@ -2,6 +2,7 @@ package cup
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -60,6 +61,12 @@ type Runtime interface {
 type Deployment struct {
 	rt  Runtime
 	bus *internal.Bus
+	// p is the resolved parameter set: the simulator consumes it via
+	// NewSimulation; the live scenario runner (Run on the live
+	// transport) reads the workload shape from it.
+	p internal.Params
+	// timeScale compresses scenario replay on the live transport.
+	timeScale float64
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -88,15 +95,26 @@ func New(opts ...Option) (*Deployment, error) {
 	}
 	o.p = o.p.WithDefaults()
 	if !overlay.Registered(o.p.OverlayKind) {
-		return nil, fmt.Errorf("cup: unknown overlay %q (registered: %s)", o.p.OverlayKind, overlay.KindList())
+		o.reject("unknown overlay %q (registered: %s)", o.p.OverlayKind, overlay.KindList())
 	}
 	if o.p.Nodes <= 0 {
-		return nil, fmt.Errorf("cup: node count %d must be positive", o.p.Nodes)
+		o.reject("node count %d must be positive", o.p.Nodes)
+	}
+	if o.p.Keys <= 0 {
+		o.reject("key count %d must be positive", o.p.Keys)
+	}
+	if o.p.QueryRate <= 0 {
+		o.reject("query rate %g must be positive", o.p.QueryRate)
+	}
+	if err := errors.Join(o.errs...); err != nil {
+		return nil, err
 	}
 
 	bus := internal.NewBus()
 	d := &Deployment{
 		bus:       bus,
+		p:         o.p,
+		timeScale: o.timeScale,
 		rng:       rand.New(rand.NewSource(o.p.Seed)),
 		published: make(map[pubKey]bool),
 	}
@@ -234,15 +252,107 @@ func (d *Deployment) Subscribe(key Key) (<-chan Event, func()) {
 func (d *Deployment) EventsDropped() uint64 { return d.bus.Dropped() }
 
 // Run executes the scripted workload to completion and returns the
-// aggregated result. Only the simulated transport has a scripted
-// workload; live deployments are interactive (Lookup/Publish) and Run
-// returns an error.
+// aggregated result. On the simulated transport it drives the virtual
+// clock through the whole schedule. On the live transport it replays
+// the configured scenario in wall-clock time (compressed by
+// WithTimeScale): scripted replica births with periodic refreshes, the
+// traffic pump, and the fault timeline — so a live deployment without a
+// WithTraffic/WithScenario workload still errors, staying interactive.
 func (d *Deployment) Run(ctx context.Context) (*Result, error) {
-	sr, ok := d.rt.(*simRuntime)
-	if !ok {
-		return nil, fmt.Errorf("cup: Run needs the simulated transport; live deployments are driven through Lookup/Publish")
+	if sr, ok := d.rt.(*simRuntime); ok {
+		return sr.run(ctx)
 	}
-	return sr.run(ctx)
+	if d.p.Traffic == nil {
+		return nil, fmt.Errorf("cup: Run on a live deployment needs a scenario (WithTraffic or WithScenario); interactive deployments are driven through Lookup/Publish")
+	}
+	return d.runLive(ctx)
+}
+
+// runLive is the live transport's scenario runner: the wall-clock
+// mirror of the simulator's scripted workload.
+func (d *Deployment) runLive(ctx context.Context) (*Result, error) {
+	lr := d.rt.(*liveRuntime)
+	scale := d.timeScale
+	if scale <= 0 {
+		scale = 1
+	}
+
+	// Scripted replica births, as the simulator performs at t≈0, plus a
+	// refresh pump standing in for the refresh-at-expiration loops.
+	keys := make([]Key, d.p.Keys)
+	for i := range keys {
+		keys[i] = Key(fmt.Sprintf("key-%d", i))
+	}
+	life := time.Duration(float64(d.p.Lifetime) / scale * float64(time.Second))
+	if life < 100*time.Millisecond {
+		life = 100 * time.Millisecond
+	}
+	for _, k := range keys {
+		for r := 0; r < d.p.Replicas; r++ {
+			if err := d.Publish(ctx, k, r, internal.ReplicaAddr(r), life); err != nil {
+				return nil, fmt.Errorf("cup: scenario replica birth %q/%d: %v", k, r, err)
+			}
+		}
+	}
+	refreshCtx, stopRefresh := context.WithCancel(ctx)
+	defer stopRefresh()
+	go func() {
+		// Refresh at half the TTL: a refresh issued exactly at expiry
+		// would still need to propagate, leaving caches a periodic
+		// stale window the simulator's refresh-at-expiration (which is
+		// instantaneous at the authority) does not have.
+		tick := time.NewTicker(life / 2)
+		defer tick.Stop()
+		for {
+			select {
+			case <-refreshCtx.Done():
+				return
+			case <-tick.C:
+			}
+			for _, k := range keys {
+				for r := 0; r < d.p.Replicas; r++ {
+					_ = d.Publish(refreshCtx, k, r, internal.ReplicaAddr(r), life)
+				}
+			}
+		}
+	}()
+
+	// Workload RNG and popularity map: seeded like the simulator's, so
+	// live scenario replays are deterministic in shape.
+	rng := rand.New(rand.NewSource(d.p.Seed))
+	env := internal.TrafficEnv{
+		Rand:  rng,
+		Nodes: d.rt.Size(),
+		Keys:  keys,
+		PickNode: func() NodeID {
+			return NodeID(rng.Intn(lr.net.Size()))
+		},
+		PickKey:  internal.KeyPicker(rng, keys, d.p.ZipfSkew),
+		ZipfSkew: d.p.ZipfSkew,
+		Rate:     d.p.QueryRate,
+		Start:    float64(d.p.QueryStart),
+		Duration: float64(d.p.QueryDuration),
+	}
+
+	// Fault timeline alongside the traffic pump.
+	faultCtx, stopFaults := context.WithCancel(ctx)
+	defer stopFaults()
+	if len(d.p.Faults) > 0 {
+		surf := lr.net.FaultSurface(keys, d.p.Replicas, life, rand.New(rand.NewSource(d.p.Seed+1)))
+		go func() {
+			_ = lr.net.RunFaults(faultCtx, d.p.Faults, surf, env.Start, env.Duration, scale)
+		}()
+	}
+
+	if err := lr.net.PumpTraffic(ctx, d.p.Traffic, env, scale); err != nil {
+		return nil, err
+	}
+	stopFaults()
+	stopRefresh()
+	if err := lr.Settle(ctx); err != nil {
+		return nil, err
+	}
+	return &Result{Params: d.p, Counters: lr.Counters()}, nil
 }
 
 // Keys lists the scripted workload's keys on the simulated transport

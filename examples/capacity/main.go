@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"cup"
-	"cup/internal/workload"
 )
 
 func main() {
@@ -41,12 +40,8 @@ func main() {
 	fmt.Printf("standard caching baseline: %d hops total\n\n", std)
 	fmt.Printf("%-10s %14s %12s\n", "capacity", "CUP total", "vs standard")
 	for _, c := range []float64{1, 0.75, 0.5, 0.25, 0} {
-		hooks := workload.OnceDownAlwaysDown(workload.CapacityFault{
-			Capacity:      c,
-			QueryStart:    300,
-			QueryDuration: 1200,
-		})
-		total := run(cup.WithHooks(hooks...)).Counters.TotalCost()
+		fault := cup.CapacityFault{Capacity: c} // Once-Down-Always-Down (Recover unset)
+		total := run(cup.WithFaults(fault)).Counters.TotalCost()
 		fmt.Printf("%-10.2f %14d %11.2fx\n", c, total, float64(total)/float64(std))
 	}
 	fmt.Println("\nEven at capacity 0, CUP outperforms standard caching: downstream")

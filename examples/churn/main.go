@@ -11,8 +11,6 @@ import (
 	"time"
 
 	"cup"
-	"cup/internal/sim"
-	"cup/internal/workload"
 )
 
 func main() {
@@ -24,8 +22,8 @@ func main() {
 			cup.WithSeed(23),
 		}
 		if rounds > 0 {
-			churn := workload.NodeChurn{At: 350, Period: sim.Duration(1200 / float64(rounds+1)), Rounds: rounds}
-			opts = append(opts, cup.WithHooks(churn.Hooks()...))
+			churn := cup.NodeChurn{At: 350, Period: 1200 / float64(rounds+1), Rounds: rounds}
+			opts = append(opts, cup.WithFaults(churn))
 		}
 		d, err := cup.New(append(opts, extra...)...)
 		if err != nil {

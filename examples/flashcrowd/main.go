@@ -1,7 +1,9 @@
-// Flashcrowd: the paper's motivating surge scenario. A key becomes
-// suddenly hot; CUP's query channel coalesces the burst into a handful of
-// upstream queries while standard caching opens one connection per query
-// and floods the path to the authority.
+// Flashcrowd: the paper's motivating surge scenario through the public
+// Scenario API. A key becomes suddenly hot; CUP's query channel
+// coalesces the burst into a handful of upstream queries while standard
+// caching opens one connection per query and floods the path to the
+// authority. The same cup.FlashCrowd generator drives both runs — and
+// would drive a live deployment unchanged via cup.WithTransport.
 package main
 
 import (
@@ -10,24 +12,23 @@ import (
 	"time"
 
 	"cup"
-	"cup/internal/workload"
 )
 
 func main() {
-	surge := workload.FlashCrowd{
-		At:      400, // seconds into the run
-		Rate:    300, // queries/s during the surge
-		Queries: 3000,
+	surge := cup.FlashCrowd{
+		BaseRate:  0.01, // quiet background (queries/s)
+		At:        400,  // seconds into the run
+		SurgeRate: 300,  // queries/s during the surge
+		Queries:   3000,
 	}
 
 	run := func(extra ...cup.Option) *cup.Result {
 		opts := []cup.Option{
 			cup.WithNodes(512),
-			cup.WithQueryRate(0.01), // quiet background
 			cup.WithQueryDuration(900 * time.Second),
 			cup.WithHopDelay(250 * time.Millisecond), // a slow network makes the burst overlap responses
 			cup.WithSeed(7),
-			cup.WithHooks(surge.Hooks()...),
+			cup.WithTraffic(surge),
 		}
 		d, err := cup.New(append(opts, extra...)...)
 		if err != nil {

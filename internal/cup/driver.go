@@ -70,7 +70,15 @@ type Params struct {
 	PiggybackWindow sim.Duration
 	// Seed drives all randomness; identical Params give identical runs.
 	Seed int64
-	// Hooks run at fixed virtual times (capacity fault injection etc.).
+	// Traffic generates the client query workload; nil uses the paper's
+	// Poisson generator at QueryRate (bit-identical to the pre-Scenario
+	// embedded loop). See traffic.go for the built-in generators.
+	Traffic Traffic
+	// Faults are scripted interventions (capacity loss, churn) expanded
+	// against the transport-agnostic FaultSurface; see scenario.go.
+	Faults []Fault
+	// Hooks run at fixed virtual times (compatibility surface predating
+	// Faults; still the escape hatch for arbitrary interventions).
 	Hooks []Hook
 	// Observer, when set, receives the protocol event stream (see Event);
 	// it is installed on every node and also carries the transport-level
@@ -166,7 +174,7 @@ type Simulation struct {
 	Keys   []overlay.Key
 	C      metrics.Counters
 
-	zipf    *sim.Zipf
+	keyPick func() overlay.Key
 	pending map[pendKey][]sim.Time
 	gates   map[overlay.NodeID]*refreshGate
 	held    map[linkKey][]*heldClearBit
@@ -225,9 +233,7 @@ func NewSimulation(p Params) *Simulation {
 	for i := range s.Keys {
 		s.Keys[i] = overlay.Key(fmt.Sprintf("key-%d", i))
 	}
-	if p.Keys > 1 && p.ZipfSkew > 0 {
-		s.zipf = s.Rng.NewZipf(p.ZipfSkew, p.Keys)
-	}
+	s.keyPick = KeyPicker(s.Rng.Rand, s.Keys, p.ZipfSkew)
 	s.endTime = sim.Time(p.QueryStart + p.QueryDuration + p.Drain)
 
 	if !p.NoWorkload {
@@ -242,17 +248,77 @@ func NewSimulation(p Params) *Simulation {
 			}
 		}
 
-		// Query workload.
-		qStart := sim.Time(p.QueryStart)
-		qEnd := qStart.Add(p.QueryDuration)
-		sim.PoissonArrivals(s.Sched, s.Rng, p.QueryRate, qStart, qEnd, s.postQuery)
+		// Query workload: externally supplied events from the Traffic
+		// stream (the paper's Poisson process unless the scenario says
+		// otherwise).
+		tr := p.Traffic
+		if tr == nil {
+			tr = PoissonTraffic(p.QueryRate)
+		}
+		s.startTraffic(tr)
 	}
 
 	for _, h := range p.Hooks {
 		h := h
 		s.Sched.At(h.At, func() { h.Fn(s) })
 	}
+	for _, f := range p.Faults {
+		for _, ev := range f.Schedule(float64(p.QueryStart), float64(p.QueryDuration)) {
+			ev := ev
+			s.Sched.At(sim.Time(ev.At), func() { ev.Do(simSurface{s}) })
+		}
+	}
 	return s
+}
+
+// TrafficEnv binds the run's randomness, workload shape, and query
+// window into the view a Traffic generator consumes. The env shares the
+// simulation's RNG, so generator draws interleave with the rest of the
+// schedule deterministically.
+func (s *Simulation) TrafficEnv() TrafficEnv {
+	return TrafficEnv{
+		Rand:     s.Rng.Rand,
+		Nodes:    len(s.Nodes),
+		Keys:     s.Keys,
+		PickNode: s.pickAliveNode,
+		PickKey:  s.pickKey,
+		ZipfSkew: s.P.ZipfSkew,
+		Rate:     s.P.QueryRate,
+		Start:    float64(s.P.QueryStart),
+		Duration: float64(s.P.QueryDuration),
+	}
+}
+
+// startTraffic pulls the traffic stream one event ahead of the virtual
+// clock: the next arrival is drawn at the previous arrival's instant
+// (or at construction for the first), scheduled, and resolved to a
+// concrete node and key at delivery.
+func (s *Simulation) startTraffic(tr Traffic) {
+	st := tr.Stream(s.TrafficEnv())
+	var arm func()
+	arm = func() {
+		ev, ok := st.Next()
+		if !ok {
+			return
+		}
+		at := sim.Time(ev.At)
+		if at < s.Sched.Now() {
+			at = s.Sched.Now() // generators must not schedule into the past
+		}
+		s.Sched.At(at, func() {
+			nid := ev.Node
+			if nid == AnyNode || int(nid) < 0 || int(nid) >= len(s.Nodes) || !s.NodeAlive(nid) {
+				nid = s.pickAliveNode()
+			}
+			k := ev.Key
+			if k == "" {
+				k = s.pickKey()
+			}
+			s.PostQueryAt(nid, k)
+			arm()
+		})
+	}
+	arm()
 }
 
 // Authority returns the node owning k.
@@ -418,14 +484,13 @@ func (s *Simulation) RemoveReplica(k overlay.Key, r int) {
 	s.dispatch(auth.ID(), auth.OriginateUpdate(u))
 }
 
-// postQuery posts one local query at a random node for a workload key.
-func (s *Simulation) postQuery() {
+// pickAliveNode draws a uniformly random alive node.
+func (s *Simulation) pickAliveNode() overlay.NodeID {
 	nid := overlay.NodeID(s.Rng.Pick(len(s.Nodes)))
 	for !s.NodeAlive(nid) {
 		nid = overlay.NodeID(s.Rng.Pick(len(s.Nodes)))
 	}
-	k := s.pickKey()
-	s.PostQueryAt(nid, k)
+	return nid
 }
 
 // PostQueryAt posts a local client query for k at node nid and accounts
@@ -450,16 +515,7 @@ func (s *Simulation) PostQueryAt(nid overlay.NodeID, k overlay.Key) {
 	s.dispatch(nid, node.HandleQuery(LocalClient, k, 0))
 }
 
-func (s *Simulation) pickKey() overlay.Key {
-	switch {
-	case len(s.Keys) == 1:
-		return s.Keys[0]
-	case s.zipf != nil:
-		return s.Keys[s.zipf.Draw()]
-	default:
-		return s.Keys[s.Rng.Pick(len(s.Keys))]
-	}
-}
+func (s *Simulation) pickKey() overlay.Key { return s.keyPick() }
 
 // dispatch executes protocol actions emitted by node `from`, scheduling
 // message deliveries one hop (HopDelay) later and accounting hop costs per

@@ -1,0 +1,337 @@
+package cup
+
+import (
+	"math/rand"
+	"sort"
+
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+// This file is the fault half of the public Scenario API: scripted
+// interventions — capacity loss, node churn, replica churn — expressed
+// against a transport-agnostic control surface, so one fault script
+// drives both the discrete-event simulator and the live goroutine
+// network. A Scenario bundles a Traffic generator with fault scripts;
+// WithScenario installs both.
+
+// FaultSurface is the control plane a fault script acts on. Both
+// runtimes implement it: the simulator applies interventions in virtual
+// time, the live network in wall-clock time. Randomness drawn through
+// Rand happens at intervention time, so fault sampling interleaves with
+// the rest of the run's randomness exactly as scheduled.
+type FaultSurface interface {
+	// Size returns the current overlay size.
+	Size() int
+	// Keys lists the scripted workload's keys.
+	Keys() []overlay.Key
+	// Replicas returns the configured replicas per workload key.
+	Replicas() int
+	// Rand is the run's workload RNG.
+	Rand() *rand.Rand
+	// RandomNodes draws k distinct node IDs.
+	RandomNodes(k int) []overlay.NodeID
+	// Alive reports whether a node is present in the overlay.
+	Alive(id overlay.NodeID) bool
+	// Owner returns the authority for key.
+	Owner(key overlay.Key) overlay.NodeID
+	// SetCapacity applies an outgoing-update capacity fraction to a set
+	// of nodes (§3.7); negative restores full capacity.
+	SetCapacity(ids []overlay.NodeID, c float64)
+	// AddReplica registers replica r of key at its authority (an Append
+	// update propagates down the interest tree).
+	AddReplica(key overlay.Key, r int)
+	// RemoveReplica deletes replica r of key (a Delete update
+	// propagates).
+	RemoveReplica(key overlay.Key, r int)
+	// Join adds one node to the overlay (§2.9); ok is false when the
+	// substrate or transport does not support membership changes.
+	Join() (id overlay.NodeID, ok bool)
+	// Leave removes a node; ok is false when unsupported or the node is
+	// already gone.
+	Leave(id overlay.NodeID) (ok bool)
+}
+
+// FaultEvent is one timed intervention into a running deployment.
+type FaultEvent struct {
+	// At is the intervention instant in seconds since the start of the
+	// run (virtual on the simulator, scaled wall-clock on live).
+	At float64
+	// Do applies the intervention.
+	Do func(FaultSurface)
+}
+
+// Fault is a scripted fault: Schedule expands it into timed
+// interventions for a run whose query window is [start, start+duration]
+// seconds.
+type Fault interface {
+	// Name identifies the script in logs and registries.
+	Name() string
+	// Schedule expands the script for one run.
+	Schedule(start, duration float64) []FaultEvent
+}
+
+// Scenario bundles a traffic generator with fault scripts. It is the
+// unit the scenario registry hands to cupsim/cupbench and the value
+// WithScenario consumes; both transports execute it through the same
+// Traffic and FaultSurface contracts.
+type Scenario struct {
+	// Name identifies the scenario in registries and flags.
+	Name string
+	// Traffic generates the client query workload; nil keeps the
+	// paper-default Poisson generator.
+	Traffic Traffic
+	// Faults are applied on top of the traffic.
+	Faults []Fault
+}
+
+// CapacityFault is the §3.7 degraded-capacity experiment: a random
+// Fraction of nodes operate at Capacity (a fraction of full outgoing
+// update capacity) in scheduled windows. With Recover set the schedule
+// is the paper's Up-And-Down (reduce, recover, re-sample, repeat);
+// otherwise it is Once-Down-Always-Down. The zero value reproduces the
+// paper's timing: 20% of nodes, 5 min warmup, 10 min down, 5 min
+// stabilize.
+type CapacityFault struct {
+	// Fraction of nodes affected each round; zero means 0.20.
+	Fraction float64
+	// Capacity is the reduced outgoing capacity c in [0, 1].
+	Capacity float64
+	// Recover selects Up-And-Down cycling; false is
+	// Once-Down-Always-Down.
+	Recover bool
+	// Warmup before the first reduction; zero means 300 s.
+	Warmup float64
+	// Down is how long each reduction lasts; zero means 600 s.
+	Down float64
+	// Stabilize separates recovery from the next reduction; zero means
+	// 300 s.
+	Stabilize float64
+}
+
+func (f CapacityFault) Name() string {
+	if f.Recover {
+		return "capacity-up-and-down"
+	}
+	return "capacity-once-down"
+}
+
+// defaults fills the paper's §3.7 timing.
+func (f CapacityFault) defaults() CapacityFault {
+	if f.Fraction == 0 {
+		f.Fraction = 0.20
+	}
+	if f.Warmup == 0 {
+		f.Warmup = 300
+	}
+	if f.Down == 0 {
+		f.Down = 600
+	}
+	if f.Stabilize == 0 {
+		f.Stabilize = 300
+	}
+	return f
+}
+
+// sample picks the affected nodes at intervention time with the run's
+// RNG, so capacity runs stay reproducible.
+func (f CapacityFault) sample(s FaultSurface) []overlay.NodeID {
+	n := int(f.Fraction * float64(s.Size()))
+	if n < 1 {
+		n = 1
+	}
+	return s.RandomNodes(n)
+}
+
+func (f CapacityFault) Schedule(start, duration float64) []FaultEvent {
+	f = f.defaults()
+	end := start + duration
+	if !f.Recover {
+		return []FaultEvent{{
+			At: start + f.Warmup,
+			Do: func(s FaultSurface) { s.SetCapacity(f.sample(s), f.Capacity) },
+		}}
+	}
+	var events []FaultEvent
+	cycle := f.Down + f.Stabilize
+	for at := start + f.Warmup; at < end; at += cycle {
+		var affected []overlay.NodeID
+		events = append(events,
+			FaultEvent{At: at, Do: func(s FaultSurface) {
+				affected = f.sample(s)
+				s.SetCapacity(affected, f.Capacity)
+			}},
+			FaultEvent{At: at + f.Down, Do: func(s FaultSurface) {
+				s.SetCapacity(affected, -1)
+			}},
+		)
+	}
+	return events
+}
+
+// NodeChurn scripts §2.9 membership changes: starting at At, every
+// Period a node joins or a random non-authority node departs
+// (alternating), Rounds times in total. It requires a churn-capable
+// substrate (CAN or Kademlia) on the simulated transport; on substrates
+// or transports without membership support the interventions are no-ops.
+type NodeChurn struct {
+	// At is the first intervention in seconds; zero starts one warmup
+	// (50 s) into the query window.
+	At float64
+	// Period separates interventions; zero means 60 s.
+	Period float64
+	// Rounds is the total number of interventions; zero means 10.
+	Rounds int
+}
+
+func (c NodeChurn) Name() string { return "node-churn" }
+
+func (c NodeChurn) Schedule(start, duration float64) []FaultEvent {
+	at, period, rounds := c.At, c.Period, c.Rounds
+	if at == 0 {
+		at = start + 50
+	}
+	if period <= 0 {
+		period = 60
+	}
+	if rounds <= 0 {
+		rounds = 10
+	}
+	var events []FaultEvent
+	for i := 0; i < rounds; i++ {
+		i := i
+		events = append(events, FaultEvent{
+			At: at + float64(i)*period,
+			Do: func(s FaultSurface) {
+				if i%2 == 0 {
+					s.Join()
+					return
+				}
+				// Depart a random alive node that owns no workload key,
+				// so authorities persist (ungraceful authority loss is
+				// the hand-over path exercised by the churn tests).
+				owners := make(map[overlay.NodeID]bool, len(s.Keys()))
+				for _, k := range s.Keys() {
+					owners[s.Owner(k)] = true
+				}
+				for tries := 0; tries < 4*s.Size(); tries++ {
+					id := overlay.NodeID(s.Rand().Intn(s.Size()))
+					if s.Alive(id) && !owners[id] {
+						s.Leave(id)
+						return
+					}
+				}
+			},
+		})
+	}
+	return events
+}
+
+// ReplicaChurn adds and removes replicas of a key over time: every
+// Period starting at At, a new replica is added (Append update) and,
+// when more than Min remain above the configured baseline, the oldest
+// extra replica is deleted (Delete update).
+type ReplicaChurn struct {
+	// At is the first intervention in seconds; zero starts one warmup
+	// (50 s) into the query window.
+	At float64
+	// Period separates interventions; zero means 60 s.
+	Period float64
+	// Rounds is the number of add(+remove) rounds; zero means 10.
+	Rounds int
+	// Min is the minimum replica index kept alive during churn.
+	Min int
+	// Key is the churned key; empty uses the first workload key.
+	Key overlay.Key
+}
+
+func (c ReplicaChurn) Name() string { return "replica-churn" }
+
+func (c ReplicaChurn) Schedule(start, duration float64) []FaultEvent {
+	at, period, rounds := c.At, c.Period, c.Rounds
+	if at == 0 {
+		at = start + 50
+	}
+	if period <= 0 {
+		period = 60
+	}
+	if rounds <= 0 {
+		rounds = 10
+	}
+	var events []FaultEvent
+	for i := 0; i < rounds; i++ {
+		i := i
+		events = append(events, FaultEvent{
+			At: at + float64(i)*period,
+			Do: func(s FaultSurface) {
+				k := c.Key
+				if k == "" {
+					if keys := s.Keys(); len(keys) > 0 {
+						k = keys[0]
+					} else {
+						return
+					}
+				}
+				next := s.Replicas() + i
+				s.AddReplica(k, next)
+				if prev := next - 1; prev >= c.Min && prev >= s.Replicas() {
+					s.RemoveReplica(k, prev)
+				}
+			},
+		})
+	}
+	return events
+}
+
+// SortFaultEvents orders expanded interventions by time, keeping the
+// expansion order for simultaneous events. The live fault executor
+// replays one merged timeline; the simulator's scheduler orders events
+// itself.
+func SortFaultEvents(events []FaultEvent) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+}
+
+// simSurface adapts the discrete-event Simulation to FaultSurface.
+type simSurface struct{ s *Simulation }
+
+func (a simSurface) Size() int                                   { return len(a.s.Nodes) }
+func (a simSurface) Keys() []overlay.Key                         { return a.s.Keys }
+func (a simSurface) Replicas() int                               { return a.s.P.Replicas }
+func (a simSurface) Rand() *rand.Rand                            { return a.s.Rng.Rand }
+func (a simSurface) RandomNodes(k int) []overlay.NodeID          { return a.s.RandomNodeSample(k) }
+func (a simSurface) Alive(id overlay.NodeID) bool                { return a.s.NodeAlive(id) }
+func (a simSurface) Owner(key overlay.Key) overlay.NodeID        { return a.s.Ov.Owner(key) }
+func (a simSurface) SetCapacity(ids []overlay.NodeID, c float64) { a.s.SetCapacityFraction(ids, c) }
+func (a simSurface) AddReplica(key overlay.Key, r int)           { a.s.AddReplica(key, r) }
+func (a simSurface) RemoveReplica(key overlay.Key, r int)        { a.s.RemoveReplica(key, r) }
+
+func (a simSurface) Join() (overlay.NodeID, bool) {
+	if !a.s.SupportsChurn() {
+		return 0, false
+	}
+	return a.s.JoinNode(), true
+}
+
+func (a simSurface) Leave(id overlay.NodeID) bool {
+	if !a.s.SupportsChurn() || !a.s.NodeAlive(id) {
+		return false
+	}
+	a.s.LeaveNode(id)
+	return true
+}
+
+// FaultHooks compiles a fault script into simulation Hooks for the
+// query window [start, start+duration] — the bridge that lets the
+// pre-Scenario Hook surface (Params.Hooks, internal/workload) keep
+// working on top of the transport-agnostic fault API.
+func FaultHooks(f Fault, start, duration float64) []Hook {
+	var hooks []Hook
+	for _, ev := range f.Schedule(start, duration) {
+		ev := ev
+		hooks = append(hooks, Hook{
+			At: sim.Time(ev.At),
+			Fn: func(s *Simulation) { ev.Do(simSurface{s}) },
+		})
+	}
+	return hooks
+}

@@ -1,0 +1,198 @@
+// Scenario execution on the live transport: a wall-clock traffic pump
+// replaying cup.Traffic streams, a goroutine-per-client closed loop,
+// and the live implementation of cup.FaultSurface — the same Scenario
+// values the discrete-event driver consumes, honoring context
+// cancellation throughout.
+package live
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cup/internal/cup"
+	"cup/internal/overlay"
+)
+
+// sleep waits d, returning early (false) on ctx cancellation or network
+// close.
+func (n *Network) sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-n.closed:
+		return false
+	}
+}
+
+// wall converts scenario seconds into wall-clock time under the given
+// compression factor (timeScale virtual seconds replayed per wall
+// second).
+func wall(seconds, timeScale float64) time.Duration {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	return time.Duration(seconds / timeScale * float64(time.Second))
+}
+
+// PumpTraffic replays a Traffic stream in wall-clock time: each
+// inter-arrival gap is slept (compressed by timeScale) and the arrival
+// becomes one client lookup at the event's node. Lookups are issued
+// asynchronously — an open loop, like the simulator's — except for
+// cup.ClosedLoop generators, which run one blocking request loop per
+// client. PumpTraffic returns when the stream ends, ctx cancels, or the
+// network closes.
+func (n *Network) PumpTraffic(ctx context.Context, tr cup.Traffic, env cup.TrafficEnv, timeScale float64) error {
+	if cl, ok := tr.(cup.ClosedLoop); ok {
+		return n.pumpClosedLoop(ctx, cl, env, timeScale)
+	}
+	st := tr.Stream(env)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	prev := 0.0
+	for {
+		ev, ok := st.Next()
+		if !ok {
+			return nil
+		}
+		if ev.At > prev {
+			if !n.sleep(ctx, wall(ev.At-prev, timeScale)) {
+				return ctx.Err()
+			}
+			prev = ev.At
+		}
+		nid := ev.Node
+		if nid == cup.AnyNode || int(nid) < 0 || int(nid) >= n.Size() {
+			nid = env.PickNode()
+		}
+		key := ev.Key
+		if key == "" {
+			key = env.PickKey()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = n.Lookup(ctx, nid, key)
+		}()
+	}
+}
+
+// pumpClosedLoop runs one goroutine per closed-loop client: look up,
+// read the answer, think, repeat — a true closed loop in which slow
+// answers throttle the offered load. Each client owns a derived RNG so
+// the population is deterministic given the stream seed.
+func (n *Network) pumpClosedLoop(ctx context.Context, cl cup.ClosedLoop, env cup.TrafficEnv, timeScale float64) error {
+	clients, think := cl.Population()
+	if !n.sleep(ctx, wall(env.Start, timeScale)) {
+		return ctx.Err()
+	}
+	window, cancel := context.WithTimeout(ctx, wall(env.Duration, timeScale))
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		// Each client owns a derived RNG and its own popularity-map
+		// picker: env.Rand (and env.PickKey) are not safe for
+		// concurrent draws.
+		rng := rand.New(rand.NewSource(env.Rand.Int63()))
+		pickKey := cup.KeyPicker(rng, env.Keys, env.ZipfSkew)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if window.Err() != nil {
+					return
+				}
+				at := overlay.NodeID(rng.Intn(n.Size()))
+				_, _ = n.Lookup(window, at, pickKey())
+				if !n.sleep(window, wall(rng.ExpFloat64()*think, timeScale)) {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// RunFaults replays fault scripts against the live network: every
+// script is expanded over the query window, the interventions merged
+// into one timeline, and each applied at its (compressed) wall-clock
+// instant. It returns when the timeline is exhausted, ctx cancels, or
+// the network closes.
+func (n *Network) RunFaults(ctx context.Context, faults []cup.Fault, surf cup.FaultSurface, start, duration, timeScale float64) error {
+	var events []cup.FaultEvent
+	for _, f := range faults {
+		events = append(events, f.Schedule(start, duration)...)
+	}
+	cup.SortFaultEvents(events)
+	prev := 0.0
+	for _, ev := range events {
+		if ev.At > prev {
+			if !n.sleep(ctx, wall(ev.At-prev, timeScale)) {
+				return ctx.Err()
+			}
+			prev = ev.At
+		}
+		ev.Do(surf)
+	}
+	return nil
+}
+
+// FaultSurface builds the live implementation of cup.FaultSurface.
+// Capacity interventions and replica churn act on the running network;
+// membership churn (Join/Leave) is simulator-only today and reports
+// unsupported.
+func (n *Network) FaultSurface(keys []overlay.Key, replicas int, lifetime time.Duration, rng *rand.Rand) cup.FaultSurface {
+	return &liveSurface{n: n, keys: keys, replicas: replicas, lifetime: lifetime, rng: rng}
+}
+
+type liveSurface struct {
+	n        *Network
+	keys     []overlay.Key
+	replicas int
+	lifetime time.Duration
+	rng      *rand.Rand
+}
+
+func (s *liveSurface) Size() int                            { return s.n.Size() }
+func (s *liveSurface) Keys() []overlay.Key                  { return s.keys }
+func (s *liveSurface) Replicas() int                        { return s.replicas }
+func (s *liveSurface) Rand() *rand.Rand                     { return s.rng }
+func (s *liveSurface) Alive(id overlay.NodeID) bool         { return int(id) >= 0 && int(id) < s.n.Size() }
+func (s *liveSurface) Owner(key overlay.Key) overlay.NodeID { return s.n.Authority(key) }
+func (s *liveSurface) Join() (overlay.NodeID, bool)         { return 0, false }
+func (s *liveSurface) Leave(overlay.NodeID) bool            { return false }
+
+func (s *liveSurface) RandomNodes(k int) []overlay.NodeID {
+	perm := s.rng.Perm(s.n.Size())
+	if k > len(perm) {
+		k = len(perm)
+	}
+	out := make([]overlay.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = overlay.NodeID(perm[i])
+	}
+	return out
+}
+
+func (s *liveSurface) SetCapacity(ids []overlay.NodeID, c float64) {
+	for _, id := range ids {
+		s.n.SetCapacity(id, c)
+	}
+}
+
+func (s *liveSurface) AddReplica(key overlay.Key, r int) {
+	s.n.AddReplica(key, r, cup.ReplicaAddr(r), s.lifetime)
+}
+
+func (s *liveSurface) RemoveReplica(key overlay.Key, r int) {
+	s.n.RemoveReplica(key, r)
+}

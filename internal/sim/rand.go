@@ -63,27 +63,6 @@ func (r *Rand) NewZipf(s float64, n int) *Zipf {
 // Draw returns the next sample.
 func (z *Zipf) Draw() int { return int(z.z.Uint64()) }
 
-// PoissonArrivals invokes emit at Poisson arrival instants with rate λ
-// (arrivals per second of virtual time) on scheduler s, starting after
-// start and ending at end. The generator schedules one event ahead of
-// itself, so memory use is O(1).
-func PoissonArrivals(s *Scheduler, r *Rand, rate float64, start, end Time, emit func()) {
-	if rate <= 0 {
-		return
-	}
-	var arm func(at Time)
-	arm = func(at Time) {
-		if at > end {
-			return
-		}
-		s.At(at, func() {
-			emit()
-			arm(s.Now().Add(r.Exp(rate)))
-		})
-	}
-	arm(start.Add(r.Exp(rate)))
-}
-
 // Jitter returns d scaled by a uniform factor in [1-f, 1+f].
 func (r *Rand) Jitter(d Duration, f float64) Duration {
 	if f <= 0 {

@@ -375,41 +375,6 @@ func TestZipfInvalidNPanics(t *testing.T) {
 	NewRand(1).NewZipf(1.5, 0)
 }
 
-func TestPoissonArrivalsRateAndWindow(t *testing.T) {
-	s := NewScheduler()
-	r := NewRand(11)
-	count := 0
-	var first, last Time
-	PoissonArrivals(s, r, 10, 100, 1100, func() {
-		if count == 0 {
-			first = s.Now()
-		}
-		last = s.Now()
-		count++
-	})
-	if err := s.Run(); err != nil {
-		t.Fatal(err)
-	}
-	// expect ≈ rate * window = 10 * 1000 = 10000 arrivals
-	if count < 9000 || count > 11000 {
-		t.Fatalf("arrivals = %d, want ≈10000", count)
-	}
-	if first < 100 {
-		t.Fatalf("first arrival at %v, before window start", first)
-	}
-	if last > 1100 {
-		t.Fatalf("last arrival at %v, after window end", last)
-	}
-}
-
-func TestPoissonArrivalsZeroRate(t *testing.T) {
-	s := NewScheduler()
-	PoissonArrivals(s, NewRand(1), 0, 0, 100, func() { t.Fatal("arrival with zero rate") })
-	if err := s.Run(); err != nil {
-		t.Fatal(err)
-	}
-}
-
 func TestJitter(t *testing.T) {
 	r := NewRand(5)
 	for i := 0; i < 1000; i++ {

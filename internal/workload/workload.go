@@ -1,10 +1,11 @@
-// Package workload builds the query and fault workloads of the CUP
-// paper's evaluation (§3.2, §3.7): Poisson query arrivals are generated by
-// the driver itself; this package contributes the capacity fault schedules
-// of the outgoing-capacity experiments (Up-And-Down and
-// Once-Down-Always-Down), flash-crowd query surges, replica churn, and
-// node churn scripts, all expressed as cup.Hook interventions so they
-// compose with any simulation.
+// Package workload is the pre-Scenario fault surface, kept so existing
+// Hook-based callers (internal/experiment, older examples) continue to
+// work unchanged. The fault scripts themselves now live in the public
+// Scenario API — cup.CapacityFault, cup.NodeChurn, cup.ReplicaChurn as
+// transport-agnostic cup.Fault values and cup.FlashCrowd as a Traffic
+// generator — and this package merely compiles them into cup.Hook
+// interventions for the discrete-event driver. New code should use
+// cup.WithFaults / cup.WithScenario instead.
 package workload
 
 import (
@@ -13,9 +14,11 @@ import (
 	"cup/internal/sim"
 )
 
-// CapacityFault describes the §3.7 experiments: a random Fraction of nodes
-// operate at Capacity (a fraction of full outgoing update capacity) during
-// scheduled windows.
+// CapacityFault mirrors cup.CapacityFault with this package's historic
+// field set: the §3.7 experiments reduce a random Fraction of nodes to
+// Capacity during scheduled windows bounded by the query window.
+//
+// Deprecated: use cup.CapacityFault with cup.WithFaults.
 type CapacityFault struct {
 	// Fraction of nodes affected each round (the paper uses 0.20).
 	Fraction float64
@@ -33,79 +36,51 @@ type CapacityFault struct {
 	QueryDuration sim.Duration
 }
 
-// defaults fills the paper's §3.7 timing.
-func (f CapacityFault) defaults() CapacityFault {
-	if f.Fraction == 0 {
-		f.Fraction = 0.20
-	}
-	if f.Warmup == 0 {
-		f.Warmup = 300
-	}
-	if f.Down == 0 {
-		f.Down = 600
-	}
-	if f.Stabilize == 0 {
-		f.Stabilize = 300
-	}
+// window fills the paper's query window defaults.
+func (f CapacityFault) window() (start, duration float64) {
 	if f.QueryStart == 0 {
 		f.QueryStart = 300
 	}
 	if f.QueryDuration == 0 {
 		f.QueryDuration = 3000
 	}
-	return f
+	return float64(f.QueryStart), float64(f.QueryDuration)
 }
 
-// sample picks the affected nodes using the simulation's RNG so runs stay
-// reproducible.
-func (f CapacityFault) sample(s *cup.Simulation) []overlay.NodeID {
-	n := int(f.Fraction * float64(len(s.Nodes)))
-	if n < 1 {
-		n = 1
+// fault maps the historic fields onto the public script.
+func (f CapacityFault) fault(recover bool) cup.CapacityFault {
+	return cup.CapacityFault{
+		Fraction:  f.Fraction,
+		Capacity:  f.Capacity,
+		Recover:   recover,
+		Warmup:    float64(f.Warmup),
+		Down:      float64(f.Down),
+		Stabilize: float64(f.Stabilize),
 	}
-	return s.RandomNodeSample(n)
 }
 
-// UpAndDown builds the paper's first §3.7 configuration: after a warmup, a
-// random node set runs at reduced capacity for Down, recovers for
+// UpAndDown builds the paper's first §3.7 configuration: after a warmup,
+// a random node set runs at reduced capacity for Down, recovers for
 // Stabilize, then a fresh random set is selected, repeating across the
-// query window ("capacity loss occurs three times during the simulation").
+// query window.
 func UpAndDown(f CapacityFault) []cup.Hook {
-	f = f.defaults()
-	var hooks []cup.Hook
-	end := sim.Time(f.QueryStart + f.QueryDuration)
-	cycle := f.Down + f.Stabilize
-	for start := sim.Time(f.QueryStart + f.Warmup); start < end; start = start.Add(cycle) {
-		start := start
-		var affected []overlay.NodeID
-		hooks = append(hooks,
-			cup.Hook{At: start, Fn: func(s *cup.Simulation) {
-				affected = f.sample(s)
-				s.SetCapacityFraction(affected, f.Capacity)
-			}},
-			cup.Hook{At: start.Add(f.Down), Fn: func(s *cup.Simulation) {
-				s.SetCapacityFraction(affected, -1)
-			}},
-		)
-	}
-	return hooks
+	start, duration := f.window()
+	return cup.FaultHooks(f.fault(true), start, duration)
 }
 
 // OnceDownAlwaysDown builds the paper's second configuration: after the
 // warmup the selected nodes reduce capacity and never recover.
 func OnceDownAlwaysDown(f CapacityFault) []cup.Hook {
-	f = f.defaults()
-	return []cup.Hook{{
-		At: sim.Time(f.QueryStart + f.Warmup),
-		Fn: func(s *cup.Simulation) {
-			s.SetCapacityFraction(f.sample(s), f.Capacity)
-		},
-	}}
+	start, duration := f.window()
+	return cup.FaultHooks(f.fault(false), start, duration)
 }
 
-// FlashCrowd models the paper's motivating surge: starting at At, Queries
-// queries for a single hot key arrive Poisson at Rate from random nodes —
-// the workload where appends and update propagation shine (§2.8).
+// FlashCrowd models the paper's motivating surge as a scheduled Hook:
+// starting at At, Queries queries for a single hot key arrive Poisson at
+// Rate from random nodes.
+//
+// Deprecated: use the cup.FlashCrowd traffic generator with
+// cup.WithTraffic, which layers the surge over the background workload.
 type FlashCrowd struct {
 	At      sim.Time
 	Rate    float64
@@ -113,7 +88,10 @@ type FlashCrowd struct {
 	Key     overlay.Key // defaults to the simulation's first key
 }
 
-// Hooks converts the surge into scheduler work.
+// Hooks converts the surge into scheduler work. It keeps the historic
+// in-run arrival chain (the surge's randomness interleaves with the
+// background workload at fire time), which the coalescing ablation's
+// published numbers depend on.
 func (f FlashCrowd) Hooks() []cup.Hook {
 	return []cup.Hook{{At: f.At, Fn: func(s *cup.Simulation) {
 		k := f.Key
@@ -134,9 +112,10 @@ func (f FlashCrowd) Hooks() []cup.Hook {
 	}}}
 }
 
-// ReplicaChurn adds and removes replicas of a key over time: every Period
-// starting at At, a new replica is added (Append update) and, when more
-// than Min remain, the oldest extra replica is deleted (Delete update).
+// ReplicaChurn mirrors cup.ReplicaChurn with this package's historic
+// field types.
+//
+// Deprecated: use cup.ReplicaChurn with cup.WithFaults.
 type ReplicaChurn struct {
 	At     sim.Time
 	Period sim.Duration
@@ -145,66 +124,45 @@ type ReplicaChurn struct {
 	Key    overlay.Key // defaults to the simulation's first key
 }
 
-// Hooks expands the churn into timed interventions.
+// Hooks expands the churn into timed interventions. Zero rounds
+// schedules nothing, preserving this package's historic semantics; a
+// zero At or Period now inherits the public cup.ReplicaChurn defaults
+// (50 s in, every 60 s) — every caller in this module sets both
+// explicitly.
 func (c ReplicaChurn) Hooks() []cup.Hook {
-	var hooks []cup.Hook
-	for i := 0; i < c.Rounds; i++ {
-		i := i
-		hooks = append(hooks, cup.Hook{
-			At: c.At.Add(sim.Duration(i) * c.Period),
-			Fn: func(s *cup.Simulation) {
-				k := c.Key
-				if k == "" {
-					k = s.Keys[0]
-				}
-				next := s.P.Replicas + i
-				s.AddReplica(k, next)
-				if prev := next - 1; prev >= c.Min && prev >= s.P.Replicas {
-					s.RemoveReplica(k, prev)
-				}
-			},
-		})
+	if c.Rounds <= 0 {
+		return nil
 	}
-	return hooks
+	return cup.FaultHooks(cup.ReplicaChurn{
+		At:     float64(c.At),
+		Period: float64(c.Period),
+		Rounds: c.Rounds,
+		Min:    c.Min,
+		Key:    c.Key,
+	}, 0, 0)
 }
 
-// NodeChurn scripts §2.9 membership changes: starting at At, every Period
-// a node joins or a random non-authority node departs (alternating),
-// Rounds times in total. Requires a dynamic overlay (CAN or Kademlia).
+// NodeChurn mirrors cup.NodeChurn with this package's historic field
+// types.
+//
+// Deprecated: use cup.NodeChurn with cup.WithFaults.
 type NodeChurn struct {
 	At     sim.Time
 	Period sim.Duration
 	Rounds int
 }
 
-// Hooks expands the churn schedule.
+// Hooks expands the churn schedule. Zero rounds schedules nothing,
+// preserving this package's historic semantics; a zero At or Period now
+// inherits the public cup.NodeChurn defaults (50 s in, every 60 s) —
+// every caller in this module sets both explicitly.
 func (c NodeChurn) Hooks() []cup.Hook {
-	var hooks []cup.Hook
-	for i := 0; i < c.Rounds; i++ {
-		i := i
-		hooks = append(hooks, cup.Hook{
-			At: c.At.Add(sim.Duration(i) * c.Period),
-			Fn: func(s *cup.Simulation) {
-				if i%2 == 0 {
-					s.JoinNode()
-					return
-				}
-				// Depart a random alive node that owns no workload key, so
-				// authorities persist (ungraceful authority loss is the
-				// hand-over path exercised by the churn tests).
-				owners := make(map[overlay.NodeID]bool, len(s.Keys))
-				for _, k := range s.Keys {
-					owners[s.Ov.Owner(k)] = true
-				}
-				for tries := 0; tries < 4*len(s.Nodes); tries++ {
-					id := overlay.NodeID(s.Rng.Pick(len(s.Nodes)))
-					if s.NodeAlive(id) && !owners[id] {
-						s.LeaveNode(id)
-						return
-					}
-				}
-			},
-		})
+	if c.Rounds <= 0 {
+		return nil
 	}
-	return hooks
+	return cup.FaultHooks(cup.NodeChurn{
+		At:     float64(c.At),
+		Period: float64(c.Period),
+		Rounds: c.Rounds,
+	}, 0, 0)
 }

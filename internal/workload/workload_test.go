@@ -17,9 +17,16 @@ func baseParams() cup.Params {
 }
 
 func TestCapacityFaultDefaults(t *testing.T) {
-	f := CapacityFault{}.defaults()
-	if f.Fraction != 0.20 || f.Warmup != 300 || f.Down != 600 || f.Stabilize != 300 {
-		t.Fatalf("defaults = %+v", f)
+	// The paper's §3.7 timing (warmup 300, down 600, stabilize 300) is
+	// the zero value of the public script: first reduction one warmup
+	// into the window, recovery one down-period later.
+	events := cup.CapacityFault{Capacity: 0.25, Recover: true}.Schedule(300, 3000)
+	if len(events) != 6 {
+		t.Fatalf("events = %d, want 6 (three cycles)", len(events))
+	}
+	if events[0].At != 600 || events[1].At != 1200 || events[2].At != 1500 {
+		t.Fatalf("schedule starts %v/%v/%v, want 600/1200/1500",
+			events[0].At, events[1].At, events[2].At)
 	}
 }
 
@@ -142,13 +149,25 @@ func TestHooksComposable(t *testing.T) {
 }
 
 func TestCapacityFaultSampleSize(t *testing.T) {
-	s := cup.NewSimulation(baseParams())
-	f := CapacityFault{Fraction: 0.5}.defaults()
-	if got := len(f.sample(s)); got != 32 {
+	count := func(fraction float64) int {
+		p := baseParams()
+		p.Hooks = OnceDownAlwaysDown(CapacityFault{
+			Fraction: fraction, Capacity: 0.5, QueryDuration: p.QueryDuration,
+		})
+		s := cup.NewSimulation(p)
+		s.Run()
+		reduced := 0
+		for _, n := range s.Nodes {
+			if n.Capacity() >= 0 {
+				reduced++
+			}
+		}
+		return reduced
+	}
+	if got := count(0.5); got != 32 {
 		t.Fatalf("sample = %d, want 32", got)
 	}
-	tiny := CapacityFault{Fraction: 0.001}.defaults()
-	if got := len(tiny.sample(s)); got != 1 {
+	if got := count(0.001); got != 1 {
 		t.Fatalf("tiny sample = %d, want 1 (floor)", got)
 	}
 }

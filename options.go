@@ -1,6 +1,7 @@
 package cup
 
 import (
+	"fmt"
 	"time"
 
 	internal "cup/internal/cup"
@@ -46,6 +47,16 @@ type options struct {
 	liveHop    time.Duration
 	inboxDepth int
 	observers  []Observer
+	// timeScale compresses scenario time on the live transport.
+	timeScale float64
+	// errs collects option-level validation failures; New reports them
+	// all at once instead of building a broken deployment.
+	errs []error
+}
+
+// reject records a validation failure for New to report.
+func (o *options) reject(format string, args ...any) {
+	o.errs = append(o.errs, fmt.Errorf("cup: "+format, args...))
 }
 
 // cfg lazily initializes the node configuration from Defaults so that
@@ -64,8 +75,15 @@ func WithTransport(t Transport) Option {
 }
 
 // WithNodes sets the overlay size (default 1024, the paper's n = 2^10).
+// A non-positive count is a configuration error reported by New.
 func WithNodes(n int) Option {
-	return func(o *options) { o.p.Nodes = n }
+	return func(o *options) {
+		if n <= 0 {
+			o.reject("node count %d must be positive", n)
+			return
+		}
+		o.p.Nodes = n
+	}
 }
 
 // WithOverlay selects the routing substrate by its overlay-registry name:
@@ -75,24 +93,52 @@ func WithOverlay(kind string) Option {
 	return func(o *options) { o.p.OverlayKind = kind }
 }
 
-// WithKeys sets the number of distinct workload keys (default 1).
+// WithKeys sets the number of distinct workload keys (default 1). A
+// non-positive count is a configuration error reported by New.
 func WithKeys(n int) Option {
-	return func(o *options) { o.p.Keys = n }
+	return func(o *options) {
+		if n <= 0 {
+			o.reject("key count %d must be positive", n)
+			return
+		}
+		o.p.Keys = n
+	}
 }
 
-// WithZipf skews workload key popularity (0 = uniform).
+// WithZipf skews workload key popularity (0 = uniform). A negative
+// skew is a configuration error reported by New.
 func WithZipf(skew float64) Option {
-	return func(o *options) { o.p.ZipfSkew = skew }
+	return func(o *options) {
+		if skew < 0 {
+			o.reject("Zipf skew %g must be non-negative", skew)
+			return
+		}
+		o.p.ZipfSkew = skew
+	}
 }
 
 // WithReplicas sets the number of replicas per workload key (default 1).
+// A non-positive count is a configuration error reported by New.
 func WithReplicas(n int) Option {
-	return func(o *options) { o.p.Replicas = n }
+	return func(o *options) {
+		if n <= 0 {
+			o.reject("replica count %d must be positive", n)
+			return
+		}
+		o.p.Replicas = n
+	}
 }
 
 // WithLifetime sets the replica lifetime (default 300 s, the paper's).
+// A non-positive lifetime is a configuration error reported by New.
 func WithLifetime(d time.Duration) Option {
-	return func(o *options) { o.p.Lifetime = sim.Duration(d.Seconds()) }
+	return func(o *options) {
+		if d <= 0 {
+			o.reject("replica lifetime %v must be positive", d)
+			return
+		}
+		o.p.Lifetime = sim.Duration(d.Seconds())
+	}
 }
 
 // WithHopDelay sets the per-hop network latency for either transport: the
@@ -100,6 +146,10 @@ func WithLifetime(d time.Duration) Option {
 // sleeps it in wall-clock time (default 1 ms).
 func WithHopDelay(d time.Duration) Option {
 	return func(o *options) {
+		if d < 0 {
+			o.reject("hop delay %v must be non-negative", d)
+			return
+		}
 		o.p.HopDelay = sim.Duration(d.Seconds())
 		o.liveHop = d
 	}
@@ -112,30 +162,56 @@ func WithLatencyModel(m LatencyModel) Option {
 }
 
 // WithQueryRate sets the network-wide Poisson query rate λ in queries/s
-// for the scripted workload (default 1).
+// for the scripted workload (default 1). A zero or negative rate is a
+// configuration error reported by New: a Poisson process needs λ > 0.
 func WithQueryRate(lambda float64) Option {
-	return func(o *options) { o.p.QueryRate = lambda }
+	return func(o *options) {
+		if lambda <= 0 {
+			o.reject("query rate %g must be positive", lambda)
+			return
+		}
+		o.p.QueryRate = lambda
+	}
 }
 
 // WithQueryWindow bounds the scripted query workload: queries start at
-// start (default: one lifetime, letting replicas register) and last for
-// duration (default 3000 s, the paper's window).
+// start and last for duration (default 3000 s, the paper's window). A
+// zero start keeps the default — one replica lifetime, letting replicas
+// register before queries arrive — like every other zero-valued option.
+// Negative bounds are configuration errors reported by New.
 func WithQueryWindow(start, duration time.Duration) Option {
 	return func(o *options) {
+		if start < 0 || duration <= 0 {
+			o.reject("query window (start %v, duration %v) must have non-negative start and positive duration", start, duration)
+			return
+		}
 		o.p.QueryStart = sim.Duration(start.Seconds())
 		o.p.QueryDuration = sim.Duration(duration.Seconds())
 	}
 }
 
-// WithQueryDuration sets only the query-window length.
+// WithQueryDuration sets only the query-window length. A non-positive
+// duration is a configuration error reported by New.
 func WithQueryDuration(duration time.Duration) Option {
-	return func(o *options) { o.p.QueryDuration = sim.Duration(duration.Seconds()) }
+	return func(o *options) {
+		if duration <= 0 {
+			o.reject("query duration %v must be positive", duration)
+			return
+		}
+		o.p.QueryDuration = sim.Duration(duration.Seconds())
+	}
 }
 
 // WithDrain extends a simulated run past the query window so in-flight
 // traffic and tree teardown complete (default: one lifetime).
 func WithDrain(d time.Duration) Option {
-	return func(o *options) { o.p.Drain = sim.Duration(d.Seconds()) }
+	return func(o *options) {
+		if d < 0 {
+			o.reject("drain %v must be non-negative", d)
+			return
+		}
+		o.p.Drain = sim.Duration(d.Seconds())
+	}
 }
 
 // WithConfig replaces the whole per-node protocol configuration. Compose
@@ -188,8 +264,64 @@ func WithSeed(seed int64) Option {
 	return func(o *options) { o.p.Seed = seed }
 }
 
-// WithHooks schedules timed interventions into a simulated run (fault
-// injection, churn scripts; see internal/workload).
+// WithTraffic installs a client-query generator for the scripted
+// workload on either transport: the simulator schedules the stream in
+// virtual time, the live runtime pumps it in wall-clock time (see
+// WithTimeScale). Unset, the paper's Poisson generator runs at the
+// configured query rate.
+func WithTraffic(t Traffic) Option {
+	return func(o *options) {
+		if t == nil {
+			o.reject("WithTraffic needs a generator (use PoissonTraffic for the paper default)")
+			return
+		}
+		o.p.Traffic = t
+	}
+}
+
+// WithFaults adds scripted fault interventions (capacity loss, node or
+// replica churn) expanded over the query window; they compose with any
+// traffic generator and run on both transports.
+func WithFaults(faults ...Fault) Option {
+	return func(o *options) {
+		for _, f := range faults {
+			if f == nil {
+				o.reject("WithFaults got a nil fault script")
+				return
+			}
+		}
+		o.p.Faults = append(o.p.Faults, faults...)
+	}
+}
+
+// WithScenario installs a bundled scenario: its traffic generator (if
+// any) and its fault scripts. Combine with WithQueryRate/WithQueryWindow
+// to scale the same scenario up or down.
+func WithScenario(sc Scenario) Option {
+	return func(o *options) {
+		if sc.Traffic != nil {
+			o.p.Traffic = sc.Traffic
+		}
+		o.p.Faults = append(o.p.Faults, sc.Faults...)
+	}
+}
+
+// WithTimeScale compresses scenario time on the live transport: scale
+// virtual seconds of traffic and fault schedule replay per wall-clock
+// second (default 1). The simulator ignores it — virtual time is
+// already free. A non-positive scale is a configuration error.
+func WithTimeScale(scale float64) Option {
+	return func(o *options) {
+		if scale <= 0 {
+			o.reject("time scale %g must be positive", scale)
+			return
+		}
+		o.timeScale = scale
+	}
+}
+
+// WithHooks schedules timed interventions into a simulated run — the
+// escape hatch predating WithFaults for arbitrary *Simulation surgery.
 func WithHooks(hooks ...Hook) Option {
 	return func(o *options) { o.p.Hooks = append(o.p.Hooks, hooks...) }
 }
@@ -202,9 +334,16 @@ func WithoutWorkload() Option {
 	return func(o *options) { o.p.NoWorkload = true }
 }
 
-// WithInboxDepth bounds each live peer's mailbox (default 1024).
+// WithInboxDepth bounds each live peer's mailbox (default 1024). A
+// non-positive depth is a configuration error reported by New.
 func WithInboxDepth(n int) Option {
-	return func(o *options) { o.inboxDepth = n }
+	return func(o *options) {
+		if n <= 0 {
+			o.reject("inbox depth %d must be positive", n)
+			return
+		}
+		o.inboxDepth = n
+	}
 }
 
 // WithObserver attaches a synchronous observer to the deployment's event

@@ -147,6 +147,98 @@ func TestSimLiveEventParity(t *testing.T) {
 	}
 }
 
+// goldenPoisson holds the exact counters the pre-Scenario driver (with
+// its embedded Poisson loop) produced for Nodes=256, λ=5, 600 s of
+// querying, seed 3 — captured before the Traffic refactor. The Scenario
+// API inverted the driver's control flow (queries are now externally
+// supplied Traffic events), and these anchors hold that inversion to
+// bit-identical behavior on every overlay.
+var goldenPoisson = map[string]cup.Counters{
+	"can": {Queries: 2963, Hits: 2813, FirstTimeMisses: 141, FreshnessMisses: 9,
+		Coalesced: 3, QueryHops: 271, ResponseHops: 271, UpdateHops: 791,
+		ClearBitHops: 6, UpdatesOriginated: 4, JustifiedUpdates: 408,
+		UnjustifiedUpdates: 49, MissLatencyTotal: 56.35848401446424, MissesServed: 150},
+	"chord": {Queries: 2963, Hits: 2697, FirstTimeMisses: 243, FreshnessMisses: 23,
+		Coalesced: 1, QueryHops: 280, ResponseHops: 280, UpdateHops: 968,
+		ClearBitHops: 29, UpdatesOriginated: 4, JustifiedUpdates: 197,
+		UnjustifiedUpdates: 42, MissLatencyTotal: 55.705247088151225, MissesServed: 266},
+	"kademlia": {Queries: 2963, Hits: 2718, FirstTimeMisses: 244, FreshnessMisses: 1,
+		Coalesced: 1, QueryHops: 256, ResponseHops: 256, UpdateHops: 758,
+		UpdatesOriginated: 4, JustifiedUpdates: 454,
+		UnjustifiedUpdates: 48, MissLatencyTotal: 51.057286161378386, MissesServed: 245},
+}
+
+// Scenario-API parity: the same seed driven through the public Traffic
+// interface (cup.New + WithTraffic(PoissonTraffic)) must reproduce
+// bit-identical counters to the compatibility Params path — and both
+// must match the counters the pre-refactor embedded driver loop
+// produced.
+func TestPoissonTrafficBitIdenticalToDriverPath(t *testing.T) {
+	for kind, want := range goldenPoisson {
+		kind, want := kind, want
+		t.Run(kind, func(t *testing.T) {
+			legacy := cup.Run(cup.Params{
+				Nodes: 256, OverlayKind: kind, QueryRate: 5, QueryDuration: 600, Seed: 3,
+			})
+			if legacy.Counters != want {
+				t.Errorf("Params path drifted from the pre-Scenario driver:\n got  %+v\n want %+v",
+					legacy.Counters, want)
+			}
+
+			d, err := cup.New(
+				cup.WithTraffic(cup.PoissonTraffic(5)),
+				cup.WithNodes(256),
+				cup.WithOverlay(kind),
+				cup.WithQueryRate(5),
+				cup.WithQueryDuration(600*time.Second),
+				cup.WithSeed(3),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			res, err := d.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Counters != want {
+				t.Errorf("Traffic API drifted from the pre-Scenario driver:\n got  %+v\n want %+v",
+					res.Counters, want)
+			}
+		})
+	}
+}
+
+// The default rate fallback (PoissonTraffic(0) → configured query rate)
+// and the nil-Traffic default must land on the same schedule too.
+func TestPoissonTrafficRateFallback(t *testing.T) {
+	run := func(opts ...cup.Option) cup.Counters {
+		base := []cup.Option{
+			cup.WithNodes(64),
+			cup.WithQueryRate(3),
+			cup.WithQueryDuration(300 * time.Second),
+			cup.WithSeed(9),
+		}
+		d, err := cup.New(append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		res, err := d.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters
+	}
+	implicit := run()
+	explicit := run(cup.WithTraffic(cup.PoissonTraffic(3)))
+	fallback := run(cup.WithTraffic(cup.PoissonTraffic(0)))
+	if implicit != explicit || implicit != fallback {
+		t.Fatalf("Poisson paths diverged:\n nil      %+v\n explicit %+v\n fallback %+v",
+			implicit, explicit, fallback)
+	}
+}
+
 // The simulated transport is fully deterministic: the same options must
 // reproduce the identical event tally, not just a similar shape.
 func TestSimulatedEventStreamDeterministic(t *testing.T) {
