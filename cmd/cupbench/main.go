@@ -2,9 +2,12 @@
 // evaluation section. By default every experiment runs at a reduced scale
 // that finishes in seconds; -full uses the paper's exact parameters
 // (3000 s of querying, λ up to 1000 queries/s, networks up to 4096 nodes).
+// Sweeps run on the parallel experiment engine (-workers caps the pool).
 // -json instead benchmarks every registered scenario (traffic generator +
 // fault scripts) and writes the machine-readable perf trajectory to
-// BENCH_scenarios.json.
+// BENCH_scenarios.json; -parallel benchmarks the engine core (scheduler
+// events/sec, allocs/event, Figure-3 sweep wall-time sequential vs
+// parallel) and writes BENCH_core.json.
 //
 //	cupbench                     # all experiments, reduced scale
 //	cupbench -exp table1         # one experiment
@@ -12,6 +15,7 @@
 //	cupbench -list               # list experiment names
 //	cupbench -json               # benchmark the scenario catalog
 //	cupbench -json -scenario flashcrowd
+//	cupbench -parallel           # core benchmark, write BENCH_core.json
 package main
 
 import (
@@ -20,11 +24,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"cup"
 	"cup/internal/experiment"
 	"cup/internal/overlay"
+	"cup/internal/sim"
 )
 
 // scenarioBench is one row of BENCH_scenarios.json: wall-clock cost and
@@ -105,6 +111,104 @@ func benchScenarios(names []string, ov string, seed int64) error {
 	return nil
 }
 
+// coreBench is the content of BENCH_core.json: the engine-core numbers
+// CI gates on — scheduler hot-path throughput and allocation rate, and
+// the Figure-3 sweep wall-time under the sequential and parallel engine.
+type coreBench struct {
+	GoMaxProcs     int     `json:"gomaxprocs"`
+	Workers        int     `json:"workers"`
+	SchedulerEvts  uint64  `json:"scheduler_events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	Fig3SeqNs      int64   `json:"fig3_sequential_ns"`
+	Fig3ParNs      int64   `json:"fig3_parallel_ns"`
+	Fig3Speedup    float64 `json:"fig3_speedup"`
+	Fig3Identical  bool    `json:"fig3_identical"`
+}
+
+// benchSchedulerCore drives the timer-churn hot path — every fired event
+// schedules a successor and a decoy and cancels the previous decoy, the
+// pattern refresh loops and piggyback windows generate — and reports
+// events/sec plus heap allocations per scheduled event.
+func benchSchedulerCore(events uint64) (perSec, allocsPerEvent float64) {
+	s := sim.NewScheduler()
+	noop := func() {}
+	var decoy sim.EventID
+	var rearm func()
+	rearm = func() {
+		if s.Executed >= events {
+			return
+		}
+		s.Cancel(decoy)
+		decoy = s.After(2, noop)
+		s.After(1, rearm)
+	}
+	s.After(1, rearm)
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	if err := s.Run(); err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	// Each loop turn schedules two events (successor + decoy); charge
+	// allocations to scheduled, not fired, events.
+	scheduled := 2 * s.Executed
+	return float64(s.Executed) / elapsed.Seconds(),
+		float64(m1.Mallocs-m0.Mallocs) / float64(scheduled)
+}
+
+// benchCore measures the engine core and writes BENCH_core.json.
+func benchCore(seed int64, ov string, workers int, full bool) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	const schedEvents = 2 << 20
+	perSec, allocs := benchSchedulerCore(schedEvents)
+	fmt.Printf("scheduler      %12.0f events/s %8.3f allocs/event (%d events)\n",
+		perSec, allocs, schedEvents)
+
+	sc := experiment.Scale{Full: full, Seed: seed, Overlay: ov}
+	sc.Parallelism = 1
+	seqStart := time.Now()
+	seqTable := experiment.Fig3PushLevel(sc)
+	seqNs := time.Since(seqStart)
+	sc.Parallelism = workers
+	parStart := time.Now()
+	parTable := experiment.Fig3PushLevel(sc)
+	parNs := time.Since(parStart)
+	identical := seqTable.Render() == parTable.Render()
+	fmt.Printf("fig3 sweep     %12v sequential %10v parallel (×%d workers, %.2fx, identical=%v)\n",
+		seqNs.Round(time.Millisecond), parNs.Round(time.Millisecond), workers,
+		seqNs.Seconds()/parNs.Seconds(), identical)
+	if !identical {
+		return fmt.Errorf("parallel Figure-3 sweep diverged from sequential output")
+	}
+
+	out, err := json.MarshalIndent(coreBench{
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Workers:        workers,
+		SchedulerEvts:  schedEvents,
+		EventsPerSec:   perSec,
+		AllocsPerEvent: allocs,
+		Fig3SeqNs:      seqNs.Nanoseconds(),
+		Fig3ParNs:      parNs.Nanoseconds(),
+		Fig3Speedup:    seqNs.Seconds() / parNs.Seconds(),
+		Fig3Identical:  identical,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_core.json", append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote BENCH_core.json")
+	return nil
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment name or 'all'")
@@ -114,6 +218,8 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment names and exit")
 		jsonOut  = flag.Bool("json", false, "benchmark the scenario catalog and write BENCH_scenarios.json")
 		scenario = flag.String("scenario", "", "with -json: benchmark only this registered scenario")
+		parallel = flag.Bool("parallel", false, "benchmark the engine core (scheduler + parallel sweep) and write BENCH_core.json")
+		workers  = flag.Int("workers", 0, "worker pool size for experiment sweeps (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -125,6 +231,14 @@ func main() {
 	if *list {
 		for _, name := range experiment.Names() {
 			fmt.Println(name)
+		}
+		return
+	}
+
+	if *parallel {
+		if err := benchCore(*seed, *ov, *workers, *full); err != nil {
+			fmt.Fprintln(os.Stderr, "cupbench:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -141,7 +255,7 @@ func main() {
 		return
 	}
 
-	sc := experiment.Scale{Full: *full, Seed: *seed, Overlay: *ov}
+	sc := experiment.Scale{Full: *full, Seed: *seed, Overlay: *ov, Parallelism: *workers}
 	names := experiment.Names()
 	if *exp != "all" {
 		if _, ok := experiment.Registry[*exp]; !ok {

@@ -33,6 +33,13 @@
 //	d, err := cup.New(cup.WithQueryRate(10))
 //	res, err := d.Run(ctx)
 //
+// Sweeps are first-class: WithTrials(n) turns Run into an n-trial sweep
+// — fresh simulation per trial, seeds derived from the run seed — that
+// executes on a worker pool (WithParallelism caps it) and merges the
+// counters in trial order, so the Result is bit-identical at any
+// parallelism. internal/experiment regenerates every figure and table
+// of §3 on the same engine.
+//
 // # Scenarios
 //
 // Workloads are first-class and composable: a Traffic generates the

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -67,6 +68,10 @@ type Deployment struct {
 	p internal.Params
 	// timeScale compresses scenario replay on the live transport.
 	timeScale float64
+	// trials > 1 turns Run into a multi-trial sweep (simulated only);
+	// parallelism caps its worker pool (0 = GOMAXPROCS).
+	trials      int
+	parallelism int
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -112,11 +117,13 @@ func New(opts ...Option) (*Deployment, error) {
 
 	bus := internal.NewBus()
 	d := &Deployment{
-		bus:       bus,
-		p:         o.p,
-		timeScale: o.timeScale,
-		rng:       rand.New(rand.NewSource(o.p.Seed)),
-		published: make(map[pubKey]bool),
+		bus:         bus,
+		p:           o.p,
+		timeScale:   o.timeScale,
+		trials:      o.trials,
+		parallelism: o.parallelism,
+		rng:         rand.New(rand.NewSource(o.p.Seed)),
+		published:   make(map[pubKey]bool),
 	}
 	for _, obs := range o.observers {
 		d.detach = append(d.detach, bus.Attach(obs))
@@ -260,12 +267,95 @@ func (d *Deployment) EventsDropped() uint64 { return d.bus.Dropped() }
 // WithTraffic/WithScenario workload still errors, staying interactive.
 func (d *Deployment) Run(ctx context.Context) (*Result, error) {
 	if sr, ok := d.rt.(*simRuntime); ok {
+		if d.trials > 1 {
+			return d.runTrials(ctx)
+		}
 		return sr.run(ctx)
+	}
+	if d.trials > 1 {
+		return nil, fmt.Errorf("cup: WithTrials(%d) is a simulated-transport sweep; a live deployment runs one scenario per Run", d.trials)
 	}
 	if d.p.Traffic == nil {
 		return nil, fmt.Errorf("cup: Run on a live deployment needs a scenario (WithTraffic or WithScenario); interactive deployments are driven through Lookup/Publish")
 	}
 	return d.runLive(ctx)
+}
+
+// runTrials executes d.trials independent simulations — fresh overlay,
+// scheduler, and RNG per trial, seeds derived by internal.TrialSeed —
+// on a worker pool and merges their counters in trial order, so the
+// Result is bit-identical whatever the parallelism. The deployment's
+// own runtime is left untouched; observers attached to the bus see the
+// trials' interleaved event streams.
+func (d *Deployment) runTrials(ctx context.Context) (*Result, error) {
+	workers := d.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > d.trials {
+		workers = d.trials
+	}
+	results := make([]*Result, d.trials)
+	errs := make([]error, d.trials)
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				p := d.p
+				p.Seed = internal.TrialSeed(d.p.Seed, i)
+				res, err := internal.NewSimulation(p).RunContext(tctx)
+				results[i], errs[i] = res, err
+				if err != nil {
+					cancel() // stop handing out further trials
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < d.trials; i++ {
+		select {
+		case jobs <- i:
+		case <-tctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	// Report the trial that actually failed: the cancel() fired on its
+	// error also aborts in-flight siblings with context.Canceled, which
+	// must not mask the cause. Among real failures, trial order wins.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil || errors.Is(err, context.Canceled) {
+			continue
+		}
+		firstErr = err
+		break
+	}
+	if firstErr == nil {
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	merged := &Result{Params: d.p}
+	for _, r := range results {
+		if r == nil { // trial never started: ctx cancelled before feed
+			return nil, ctx.Err()
+		}
+		merged.Counters.Add(&r.Counters)
+	}
+	return merged, nil
 }
 
 // runLive is the live transport's scenario runner: the wall-clock

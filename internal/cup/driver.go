@@ -667,11 +667,13 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 		}
 		ran := 0
 		for ran < batch && s.Sched.NextTime() <= s.endTime {
-			s.Sched.Step()
-			ran++
-			if s.Sched.MaxEvents > 0 && s.Sched.Executed > s.Sched.MaxEvents {
+			// Enforce the budget exactly: error as soon as an event
+			// beyond it is due, so precisely MaxEvents events fire.
+			if s.Sched.MaxEvents > 0 && s.Sched.Executed >= s.Sched.MaxEvents {
 				return nil, sim.ErrEventBudget
 			}
+			s.Sched.Step()
+			ran++
 		}
 		if ran < batch {
 			break

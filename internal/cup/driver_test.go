@@ -1,9 +1,11 @@
 package cup
 
 import (
+	"context"
 	"testing"
 
 	"cup/internal/overlay"
+	"cup/internal/sim"
 )
 
 // smallParams is a fast configuration for integration tests.
@@ -34,6 +36,21 @@ func TestSimulationRunsAndConserves(t *testing.T) {
 	}
 	if c.MissesServed > c.Misses() {
 		t.Fatalf("served %d misses but only %d occurred", c.MissesServed, c.Misses())
+	}
+}
+
+// The event budget is exact through the driver too: RunContext returns
+// ErrEventBudget after firing precisely MaxEvents events (regression for
+// the off-by-one that executed MaxEvents+1).
+func TestRunContextEventBudgetExact(t *testing.T) {
+	s := NewSimulation(smallParams())
+	s.Sched.MaxEvents = 100
+	_, err := s.RunContext(context.Background())
+	if err != sim.ErrEventBudget {
+		t.Fatalf("RunContext = %v, want ErrEventBudget", err)
+	}
+	if s.Sched.Executed != 100 {
+		t.Fatalf("Executed = %d, want exactly MaxEvents = 100", s.Sched.Executed)
 	}
 }
 

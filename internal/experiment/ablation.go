@@ -21,12 +21,26 @@ import (
 func AblationOverlay(sc Scale) *metrics.Table {
 	t := &metrics.Table{Title: "Ablation A1: overlay independence (" + overlay.KindList() + ")"}
 	t.Header = []string{"overlay", "λ", "STD total", "CUP total", "CUP/STD"}
+	eng := sc.engine()
+	rates := []float64{1, 100}
+	type pair struct{ std, cup *Future }
+	var cells []pair
 	for _, ov := range overlay.Kinds() {
-		for _, r := range []float64{1, 100} {
-			std := run(append(sc.base(r),
-				cup.WithOverlay(ov), cup.WithStandardCaching())...).Counters.TotalCost()
-			c := run(append(sc.base(r),
-				cup.WithOverlay(ov))...).Counters.TotalCost()
+		for _, r := range rates {
+			cells = append(cells, pair{
+				std: eng.submit(append(sc.base(r),
+					cup.WithOverlay(ov), cup.WithStandardCaching())...),
+				cup: eng.submit(append(sc.base(r),
+					cup.WithOverlay(ov))...),
+			})
+		}
+	}
+	i := 0
+	for _, ov := range overlay.Kinds() {
+		for _, r := range rates {
+			std := cells[i].std.Result().Counters.TotalCost()
+			c := cells[i].cup.Result().Counters.TotalCost()
+			i++
 			t.AddRow(ov, metrics.F(r), metrics.I(std), metrics.I(c),
 				metrics.F(float64(c)/math.Max(1, float64(std))))
 		}
@@ -43,14 +57,20 @@ func AblationCoalescing(sc Scale) *metrics.Table {
 	t := &metrics.Table{Title: "Ablation A2: query coalescing under a flash crowd"}
 	t.Header = []string{"protocol", "queries", "coalesced", "query hops", "total cost"}
 	surge := workload.FlashCrowd{At: 400, Rate: 500, Queries: 2000}
-	for _, mode := range []string{"standard", "cup"} {
+	modes := []string{"standard", "cup"}
+	eng := sc.engine()
+	futs := make([]*Future, len(modes))
+	for i, mode := range modes {
 		opts := append(sc.base(0.001), // near-silent background
 			cup.WithHopDelay(500*time.Millisecond), // slow network: the burst outruns responses
 			cup.WithHooks(surge.Hooks()...))
 		if mode == "standard" {
 			opts = append(opts, cup.WithStandardCaching())
 		}
-		res := run(opts...)
+		futs[i] = eng.submit(opts...)
+	}
+	for i, mode := range modes {
+		res := futs[i].Result()
 		t.AddRow(mode,
 			metrics.I(res.Counters.Queries),
 			metrics.I(res.Counters.Coalesced),
@@ -176,8 +196,13 @@ func AblationJustified(sc Scale) *metrics.Table {
 	t := &metrics.Table{Title: "Ablation A4: justified updates vs §3.1 cost model"}
 	t.Header = []string{"λ (q/s)", "measured justified", "leaf prediction 1−e^(−λT/n)"}
 	const lifetime, n = 300.0, 1024.0
-	for _, r := range JustifiedRates {
-		res := run(sc.base(r)...)
+	eng := sc.engine()
+	futs := make([]*Future, len(JustifiedRates))
+	for i, r := range JustifiedRates {
+		futs[i] = eng.submit(sc.base(r)...)
+	}
+	for i, r := range JustifiedRates {
+		res := futs[i].Result()
 		// §3.1 predicts an update pushed to node N is justified with
 		// probability 1 − e^{−ΛT} where Λ sums the query rates of N's
 		// virtual subtree. A leaf sees only its own λ/n; interior nodes
@@ -208,10 +233,15 @@ func AblationAggregation(sc Scale) *metrics.Table {
 		{"aggregate, 30 s window", cup.RefreshPolicy{AggregateWindow: 30}},
 		{"aggregate, dynamic window", cup.RefreshPolicy{AggregateWindow: 30, DynamicWindow: true, DynamicBase: 10}},
 	}
-	for _, c := range configs {
-		res := run(append(sc.base(1),
+	eng := sc.engine()
+	futs := make([]*Future, len(configs))
+	for i, c := range configs {
+		futs[i] = eng.submit(append(sc.base(1),
 			cup.WithReplicas(20),
 			cup.WithRefreshPolicy(c.rp))...)
+	}
+	for i, c := range configs {
+		res := futs[i].Result()
 		t.AddRow(c.label,
 			metrics.I(res.Counters.UpdatesOriginated),
 			metrics.I(res.Counters.UpdateHops),
@@ -227,12 +257,18 @@ func AblationAggregation(sc Scale) *metrics.Table {
 func AblationPiggyback(sc Scale) *metrics.Table {
 	t := &metrics.Table{Title: "Ablation A6: clear-bit piggybacking (§2.7)"}
 	t.Header = []string{"mode", "standalone clear-bit hops", "piggybacked", "overhead", "total cost"}
-	for _, piggy := range []bool{false, true} {
+	modes := []bool{false, true}
+	eng := sc.engine()
+	futs := make([]*Future, len(modes))
+	for i, piggy := range modes {
 		opts := append(sc.base(10), cup.WithKeys(16))
 		if piggy {
 			opts = append(opts, cup.WithPiggyback(120*time.Second))
 		}
-		res := run(opts...)
+		futs[i] = eng.submit(opts...)
+	}
+	for i, piggy := range modes {
+		res := futs[i].Result()
 		label := "standalone (paper's accounting)"
 		if piggy {
 			label = "piggybacked onto queries/updates"
@@ -264,11 +300,18 @@ func AblationLatency(sc Scale) *metrics.Table {
 		{"transit-stub 8×(5 ms, 30–120 ms)", netmodel.TransitStub{
 			Stubs: 8, Local: 0.005, TransitMin: 0.03, TransitMax: 0.12, Seed: 7}},
 	}
-	for _, mc := range models {
-		std := run(append(sc.base(10),
+	eng := sc.engine()
+	stdF := make([]*Future, len(models))
+	cupF := make([]*Future, len(models))
+	for i, mc := range models {
+		stdF[i] = eng.submit(append(sc.base(10),
 			cup.WithLatencyModel(mc.m), cup.WithStandardCaching())...)
-		c := run(append(sc.base(10),
+		cupF[i] = eng.submit(append(sc.base(10),
 			cup.WithLatencyModel(mc.m))...)
+	}
+	for i, mc := range models {
+		std := stdF[i].Result()
+		c := cupF[i].Result()
 		t.AddRow(mc.label,
 			metrics.I(std.Counters.TotalCost()),
 			metrics.I(c.Counters.TotalCost()),
@@ -298,7 +341,12 @@ func AblationChurn(sc Scale) *metrics.Table {
 	}
 	t := &metrics.Table{Title: title}
 	t.Header = []string{"churn events", "STD total", "CUP total", "CUP/STD", "CUP misses"}
-	for _, rounds := range []int{0, 8, 32} {
+	roundsSweep := []int{0, 8, 32}
+	eng := sc.engine()
+	stdF := make([]*Future, len(roundsSweep))
+	cupF := make([]*Future, len(roundsSweep))
+	for i, rounds := range roundsSweep {
+		rounds := rounds
 		hooks := func() []cup.Hook {
 			if rounds == 0 {
 				return nil
@@ -306,12 +354,16 @@ func AblationChurn(sc Scale) *metrics.Table {
 			period := sc.duration() / sim.Duration(rounds+1)
 			return workload.NodeChurn{At: 350, Period: period, Rounds: rounds}.Hooks()
 		}
-		std := run(append(sc.base(5),
+		stdF[i] = eng.submit(append(sc.base(5),
 			cup.WithNodes(256), cup.WithOverlay(kind),
 			cup.WithStandardCaching(), cup.WithHooks(hooks()...))...)
-		c := run(append(sc.base(5),
+		cupF[i] = eng.submit(append(sc.base(5),
 			cup.WithNodes(256), cup.WithOverlay(kind),
 			cup.WithHooks(hooks()...))...)
+	}
+	for i, rounds := range roundsSweep {
+		std := stdF[i].Result()
+		c := cupF[i].Result()
 		t.AddRow(metrics.I(rounds),
 			metrics.I(std.Counters.TotalCost()),
 			metrics.I(c.Counters.TotalCost()),

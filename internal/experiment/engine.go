@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"runtime"
+
+	"cup"
+)
+
+// The parallel sweep engine: every figure/table of the evaluation is a
+// grid of independent simulated runs, so each generator decomposes its
+// sweep into Trial units, submits them all up front, and assembles the
+// table from the results in submission order. Trials execute on a
+// bounded worker pool — each worker drives at most one cup.Deployment
+// at a time, and every trial owns its own scheduler and RNG — so the
+// rendered table is bit-identical to a sequential sweep at any
+// parallelism (pinned by TestParallelSweepMatchesSequentialGolden).
+
+// Trial is one independent run of a sweep: the cup.New options that
+// fully determine it, including the seed they carry. Label is for
+// diagnostics only.
+type Trial struct {
+	Label string
+	Opts  []cup.Option
+}
+
+// Engine executes Trials on a bounded worker pool.
+type Engine struct {
+	sem chan struct{}
+}
+
+// NewEngine returns an engine running at most workers trials
+// concurrently; workers <= 0 means GOMAXPROCS.
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{sem: make(chan struct{}, workers)}
+}
+
+// Future is a handle to one in-flight trial.
+type Future struct {
+	done chan struct{}
+	res  *cup.Result
+	// failure carries a worker panic to the collecting goroutine:
+	// experiments treat unbuildable or failing runs as programming
+	// errors, and the panic must not die with the worker.
+	failure any
+}
+
+// Go submits a trial for execution and returns its future.
+func (e *Engine) Go(tr Trial) *Future {
+	f := &Future{done: make(chan struct{})}
+	go func() {
+		e.sem <- struct{}{}
+		defer func() { <-e.sem }()
+		defer close(f.done)
+		defer func() { f.failure = recover() }()
+		f.res = run(tr.Opts...)
+	}()
+	return f
+}
+
+// Result blocks until the trial finishes and returns its result,
+// re-raising any worker panic on the caller's goroutine.
+func (f *Future) Result() *cup.Result {
+	<-f.done
+	if f.failure != nil {
+		panic(f.failure)
+	}
+	return f.res
+}
+
+// RunAll executes trials and returns their results in trial order.
+func (e *Engine) RunAll(trials []Trial) []*cup.Result {
+	futs := make([]*Future, len(trials))
+	for i, tr := range trials {
+		futs[i] = e.Go(tr)
+	}
+	out := make([]*cup.Result, len(trials))
+	for i, f := range futs {
+		out[i] = f.Result()
+	}
+	return out
+}
+
+// submit is the generators' shorthand for an unlabeled trial.
+func (e *Engine) submit(opts ...cup.Option) *Future {
+	return e.Go(Trial{Opts: opts})
+}
+
+// engine builds the sweep engine for one experiment at the Scale's
+// configured parallelism.
+func (s Scale) engine() *Engine { return NewEngine(s.Parallelism) }

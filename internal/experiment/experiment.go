@@ -38,6 +38,11 @@ type Scale struct {
 	// overlay-registry name ("can", "chord", "kademlia"); empty keeps the
 	// paper's CAN. The overlay ablation A1 sweeps all kinds regardless.
 	Overlay string
+	// Parallelism caps the worker pool running a sweep's trials (0 =
+	// GOMAXPROCS, 1 = sequential). The rendered tables are bit-identical
+	// at any setting: trials are independent runs assembled in a fixed
+	// order.
+	Parallelism int
 }
 
 func (s Scale) seed() int64 {
@@ -103,11 +108,11 @@ func run(opts ...cup.Option) *cup.Result {
 // PushLevels is the level sweep used for Figures 3 and 4.
 var PushLevels = []int{0, 5, 10, 15, 20, 25, 30}
 
-// pushLevelRun measures CUP propagating updates to every querying node at
-// most level hops from the authority, regardless of justification (§3.3):
-// the cut-off policy is all-out push, bounded only by the level. Level 0
-// is standard caching.
-func pushLevelRun(sc Scale, lambda float64, level int) *cup.Result {
+// pushLevelOpts configures CUP propagating updates to every querying
+// node at most level hops from the authority, regardless of
+// justification (§3.3): the cut-off policy is all-out push, bounded only
+// by the level. Level 0 is standard caching.
+func pushLevelOpts(sc Scale, lambda float64, level int) []cup.Option {
 	opts := sc.base(lambda)
 	if level == 0 {
 		opts = append(opts, cup.WithStandardCaching())
@@ -116,12 +121,13 @@ func pushLevelRun(sc Scale, lambda float64, level int) *cup.Result {
 			cup.WithPolicy(policy.AlwaysKeep()),
 			cup.WithPushLevel(level))
 	}
-	return run(opts...)
+	return opts
 }
 
 // FigPushLevel regenerates one push-level figure: total cost and miss
 // cost versus push level for the given rates (Figure 3 uses λ ∈ {1, 10},
-// Figure 4 λ ∈ {100, 1000}).
+// Figure 4 λ ∈ {100, 1000}). The level × rate grid runs as one parallel
+// sweep, collected level-major.
 func FigPushLevel(sc Scale, title string, rates []float64) *metrics.Table {
 	t := &metrics.Table{Title: title}
 	t.Header = []string{"push level"}
@@ -129,10 +135,17 @@ func FigPushLevel(sc Scale, title string, rates []float64) *metrics.Table {
 		t.Header = append(t.Header,
 			fmt.Sprintf("total λ=%g", r), fmt.Sprintf("miss λ=%g", r))
 	}
-	for _, lvl := range PushLevels {
-		row := []string{metrics.I(lvl)}
+	eng := sc.engine()
+	cells := make([][]*Future, len(PushLevels))
+	for i, lvl := range PushLevels {
 		for _, r := range rates {
-			res := pushLevelRun(sc, r, lvl)
+			cells[i] = append(cells[i], eng.submit(pushLevelOpts(sc, r, lvl)...))
+		}
+	}
+	for i, lvl := range PushLevels {
+		row := []string{metrics.I(lvl)}
+		for _, f := range cells[i] {
+			res := f.Result()
 			row = append(row,
 				metrics.I(res.Counters.TotalCost()),
 				metrics.I(res.Counters.MissCost()))
@@ -188,9 +201,31 @@ func Table1Policies(sc Scale) *metrics.Table {
 		t.Header = append(t.Header, fmt.Sprintf("%g q/s", r))
 	}
 
-	std := make([]uint64, len(Table1Rates))
+	// Submit the whole grid up front — the standard-caching baselines,
+	// every policy × rate cell, and the push-level sweep behind the
+	// "optimal" row — then collect in row order.
+	eng := sc.engine()
+	policies := table1Policies()
+	stdF := make([]*Future, len(Table1Rates))
 	for i, r := range Table1Rates {
-		std[i] = run(append(sc.base(r), cup.WithStandardCaching())...).Counters.TotalCost()
+		stdF[i] = eng.submit(append(sc.base(r), cup.WithStandardCaching())...)
+	}
+	polF := make([][]*Future, len(policies))
+	for pi, pr := range policies {
+		for _, r := range Table1Rates {
+			polF[pi] = append(polF[pi], eng.submit(append(sc.base(r), cup.WithPolicy(pr.pol))...))
+		}
+	}
+	lvlF := make([][]*Future, len(Table1Rates))
+	for i, r := range Table1Rates {
+		for _, lvl := range PushLevels[1:] {
+			lvlF[i] = append(lvlF[i], eng.submit(pushLevelOpts(sc, r, lvl)...))
+		}
+	}
+
+	std := make([]uint64, len(Table1Rates))
+	for i, f := range stdF {
+		std[i] = f.Result().Counters.TotalCost()
 	}
 	cell := func(total uint64, i int) string {
 		return fmt.Sprintf("%d (%.2f)", total, float64(total)/math.Max(1, float64(std[i])))
@@ -202,21 +237,20 @@ func Table1Policies(sc Scale) *metrics.Table {
 	}
 	t.AddRow(row...)
 
-	for _, pr := range table1Policies() {
+	for pi, pr := range policies {
 		row := []string{pr.label}
-		for i, r := range Table1Rates {
-			res := run(append(sc.base(r), cup.WithPolicy(pr.pol))...)
-			row = append(row, cell(res.Counters.TotalCost(), i))
+		for i := range Table1Rates {
+			row = append(row, cell(polF[pi][i].Result().Counters.TotalCost(), i))
 		}
 		t.AddRow(row...)
 	}
 
 	// Optimal push level: the minimum over the figure sweep.
 	row = []string{"Optimal push level"}
-	for i, r := range Table1Rates {
+	for i := range Table1Rates {
 		best := std[i]
-		for _, lvl := range PushLevels[1:] {
-			if c := pushLevelRun(sc, r, lvl).Counters.TotalCost(); c < best {
+		for _, f := range lvlF[i] {
+			if c := f.Result().Counters.TotalCost(); c < best {
 				best = c
 			}
 		}
@@ -242,14 +276,21 @@ func Table2NetworkSize(sc Scale) *metrics.Table {
 	for _, n := range sizes {
 		t.Header = append(t.Header, metrics.I(sc.nodes(n)))
 	}
+	eng := sc.engine()
+	stdF := make([]*Future, len(sizes))
+	cupF := make([]*Future, len(sizes))
+	for i, n := range sizes {
+		n = sc.nodes(n)
+		stdF[i] = eng.submit(append(sc.base(1), cup.WithNodes(n), cup.WithStandardCaching())...)
+		cupF[i] = eng.submit(append(sc.base(1), cup.WithNodes(n))...)
+	}
 	ratio := []string{"CUP / STD caching miss cost"}
 	cupLat := []string{"CUP miss latency"}
 	stdLat := []string{"STD caching miss latency"}
 	saved := []string{"Saved miss hops per CUP overhead hop"}
-	for _, n := range sizes {
-		n = sc.nodes(n)
-		std := run(append(sc.base(1), cup.WithNodes(n), cup.WithStandardCaching())...)
-		cupRes := run(append(sc.base(1), cup.WithNodes(n))...)
+	for i := range sizes {
+		std := stdF[i].Result()
+		cupRes := cupF[i].Result()
 		ratio = append(ratio, metrics.F(
 			float64(cupRes.Counters.MissCost())/math.Max(1, float64(std.Counters.MissCost()))))
 		cupLat = append(cupLat, metrics.F(cupRes.Counters.MissLatencyHops()))
@@ -278,9 +319,16 @@ func Table3ReplicasTable(sc Scale) *metrics.Table {
 	t := &metrics.Table{Title: "Table 3: naive vs replica-independent cut-off (λ=1, n=1024)"}
 	t.Header = []string{"Replicas",
 		"Naive miss cost (misses)", "Repl-indep miss cost (misses)", "Repl-indep total cost"}
-	for _, r := range reps {
-		naive := run(append(sc.base(1), cup.WithReplicas(r), cup.WithNaiveCutoff())...)
-		fixed := run(append(sc.base(1), cup.WithReplicas(r))...)
+	eng := sc.engine()
+	naiveF := make([]*Future, len(reps))
+	fixedF := make([]*Future, len(reps))
+	for i, r := range reps {
+		naiveF[i] = eng.submit(append(sc.base(1), cup.WithReplicas(r), cup.WithNaiveCutoff())...)
+		fixedF[i] = eng.submit(append(sc.base(1), cup.WithReplicas(r))...)
+	}
+	for i, r := range reps {
+		naive := naiveF[i].Result()
+		fixed := fixedF[i].Result()
 		t.AddRow(
 			metrics.I(r),
 			fmt.Sprintf("%d (%d)", naive.Counters.MissCost(), naive.Counters.Misses()),
@@ -302,8 +350,6 @@ func FigCapacity(sc Scale, title string, lambda float64) *metrics.Table {
 	t := &metrics.Table{Title: title}
 	t.Header = []string{"capacity c", "Up-And-Down total", "Once-Down-Always-Down total", "Standard caching"}
 
-	std := run(append(sc.base(lambda), cup.WithStandardCaching())...).Counters.TotalCost()
-
 	fault := func(c float64) workload.CapacityFault {
 		f := workload.CapacityFault{
 			Capacity:      c,
@@ -317,14 +363,22 @@ func FigCapacity(sc Scale, title string, lambda float64) *metrics.Table {
 		}
 		return f
 	}
-	for _, c := range Capacities {
-		up := run(append(sc.base(lambda),
-			cup.WithHooks(workload.UpAndDown(fault(c))...))...).Counters.TotalCost()
-
-		down := run(append(sc.base(lambda),
-			cup.WithHooks(workload.OnceDownAlwaysDown(fault(c))...))...).Counters.TotalCost()
-
-		t.AddRow(metrics.F(c), metrics.I(up), metrics.I(down), metrics.I(std))
+	eng := sc.engine()
+	stdF := eng.submit(append(sc.base(lambda), cup.WithStandardCaching())...)
+	upF := make([]*Future, len(Capacities))
+	downF := make([]*Future, len(Capacities))
+	for i, c := range Capacities {
+		upF[i] = eng.submit(append(sc.base(lambda),
+			cup.WithHooks(workload.UpAndDown(fault(c))...))...)
+		downF[i] = eng.submit(append(sc.base(lambda),
+			cup.WithHooks(workload.OnceDownAlwaysDown(fault(c))...))...)
+	}
+	std := stdF.Result().Counters.TotalCost()
+	for i, c := range Capacities {
+		t.AddRow(metrics.F(c),
+			metrics.I(upF[i].Result().Counters.TotalCost()),
+			metrics.I(downF[i].Result().Counters.TotalCost()),
+			metrics.I(std))
 	}
 	t.Caption = "20% of nodes at reduced capacity; second-chance policy."
 	return t

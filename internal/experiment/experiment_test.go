@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"cup"
 	"cup/internal/metrics"
 )
 
@@ -240,6 +241,54 @@ func TestTablesRenderNonEmpty(t *testing.T) {
 			t.Fatalf("%s rendered %q", name, out)
 		}
 	}
+}
+
+// Golden pin for the parallel engine: the same sweep rendered at
+// Parallelism 1 and 8 must be bit-identical, across all three overlays
+// (AblationOverlay sweeps every registered kind at two rates).
+func TestParallelSweepMatchesSequentialGolden(t *testing.T) {
+	seq := AblationOverlay(Scale{Seed: 5, Parallelism: 1}).Render()
+	par := AblationOverlay(Scale{Seed: 5, Parallelism: 8}).Render()
+	if seq != par {
+		t.Fatalf("parallel sweep diverged from sequential:\n--- sequential ---\n%s--- parallel ---\n%s", seq, par)
+	}
+}
+
+// The engine returns results in trial order and re-raises worker panics
+// on the collecting goroutine.
+func TestEngineOrderAndPanicPropagation(t *testing.T) {
+	eng := NewEngine(4)
+	trials := make([]Trial, 6)
+	for i := range trials {
+		trials[i] = Trial{
+			Label: "seed sweep",
+			Opts: []cup.Option{
+				cup.WithNodes(32),
+				cup.WithQueryRate(float64(i + 1)),
+				cup.WithQueryDuration(cup.Seconds(30)),
+				cup.WithSeed(7),
+			},
+		}
+	}
+	results := eng.RunAll(trials)
+	var prev uint64
+	for i, res := range results {
+		if res == nil || res.Counters.Queries == 0 {
+			t.Fatalf("trial %d produced no queries", i)
+		}
+		if res.Counters.Queries < prev {
+			t.Fatalf("results out of trial order: trial %d has %d queries after %d (rates are increasing)",
+				i, res.Counters.Queries, prev)
+		}
+		prev = res.Counters.Queries
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not propagate to Result()")
+		}
+	}()
+	eng.Go(Trial{Opts: []cup.Option{cup.WithNodes(-1)}}).Result()
 }
 
 func TestDeterministicTables(t *testing.T) {

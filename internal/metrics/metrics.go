@@ -60,6 +60,30 @@ type Counters struct {
 	MissesServed     uint64
 }
 
+// Add folds o into c field by field — the merge step of multi-trial
+// sweeps. Derived ratios (MissLatencyHops, JustifiedFraction, ...) are
+// computed from the merged sums, so merging trials and then reading a
+// ratio yields the workload-weighted mean across trials.
+func (c *Counters) Add(o *Counters) {
+	c.Queries += o.Queries
+	c.Hits += o.Hits
+	c.FirstTimeMisses += o.FirstTimeMisses
+	c.FreshnessMisses += o.FreshnessMisses
+	c.Coalesced += o.Coalesced
+	c.QueryHops += o.QueryHops
+	c.ResponseHops += o.ResponseHops
+	c.UpdateHops += o.UpdateHops
+	c.ClearBitHops += o.ClearBitHops
+	c.PiggybackedClearBits += o.PiggybackedClearBits
+	c.UpdatesOriginated += o.UpdatesOriginated
+	c.UpdatesDropped += o.UpdatesDropped
+	c.ExpiredUpdates += o.ExpiredUpdates
+	c.JustifiedUpdates += o.JustifiedUpdates
+	c.UnjustifiedUpdates += o.UnjustifiedUpdates
+	c.MissLatencyTotal += o.MissLatencyTotal
+	c.MissesServed += o.MissesServed
+}
+
 // Misses returns the number of queries not served from fresh local state.
 func (c *Counters) Misses() uint64 { return c.Queries - c.Hits }
 

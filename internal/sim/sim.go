@@ -6,6 +6,13 @@
 // All experiments in this repository are driven by a Scheduler; determinism
 // (same seed, same schedule, same results) is a hard requirement so that the
 // paper's tables regenerate reproducibly.
+//
+// The scheduler's hot path is allocation-free in steady state: fired and
+// cancelled events return to a free list and are reused by later At/After
+// calls, and cancellation is O(1) through generation-counted handles
+// instead of a live-event map. Cancelled entries are removed lazily — at
+// pop time, or in bulk whenever they outnumber the pending ones — so
+// cancel-heavy workloads cannot grow the queue without bound.
 package sim
 
 import (
@@ -30,17 +37,25 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // Infinity is a time later than every event in any simulation.
 const Infinity = Time(math.MaxFloat64)
 
-// EventID identifies a scheduled event so it can be cancelled.
-// The zero EventID is never issued.
-type EventID uint64
+// EventID is a handle to a scheduled event so it can be cancelled. It
+// points directly at the queue entry and carries the entry's generation
+// at scheduling time: entries are recycled onto a free list once fired
+// or drained, and the generation check makes a stale handle a no-op
+// instead of cancelling whatever event reused the entry. The zero
+// EventID refers to no event.
+type EventID struct {
+	e   *event
+	gen uint64
+}
 
 // event is a single queue entry. seq breaks ties so that events scheduled
 // for the same instant fire in scheduling order (FIFO), which keeps the
-// simulation deterministic.
+// simulation deterministic. gen invalidates outstanding EventIDs when the
+// entry is recycled.
 type event struct {
 	at        Time
 	seq       uint64
-	id        EventID
+	gen       uint64
 	fn        func()
 	cancelled bool
 	index     int // heap index
@@ -75,20 +90,33 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// initialQueueCap pre-sizes the heap and free list so short-lived
+// schedulers never grow them and long-lived ones grow them once.
+const initialQueueCap = 256
+
+// compactFloor is the queue length below which lazily-cancelled entries
+// are never compacted in bulk: pop-time draining handles small queues,
+// and compacting them would churn for no memory win.
+const compactFloor = 64
+
 // Scheduler is a discrete-event scheduler. It is not safe for concurrent
 // use; the live runtime (internal/live) uses real goroutines instead.
+// Run independent Schedulers (one per goroutine) for parallel sweeps.
 type Scheduler struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	nextID  EventID
-	live    map[EventID]*event
-	stopped bool
+	now   Time
+	queue eventHeap
+	seq   uint64
+	// free holds recycled entries for reuse; the hot path allocates only
+	// when it is empty.
+	free []*event
+	// cancelled counts lazily-cancelled entries still sitting in queue.
+	cancelled int
 	// Executed counts events that have fired (for progress reporting and
 	// runaway detection in tests).
 	Executed uint64
-	// MaxEvents aborts Run with ErrEventBudget when exceeded; zero means
-	// unlimited.
+	// MaxEvents caps Executed: the Run variants return ErrEventBudget as
+	// soon as an event beyond the budget is due, so exactly MaxEvents
+	// events fire. Zero means unlimited.
 	MaxEvents uint64
 }
 
@@ -97,15 +125,42 @@ var ErrEventBudget = errors.New("sim: event budget exceeded")
 
 // NewScheduler returns an empty scheduler at time zero.
 func NewScheduler() *Scheduler {
-	return &Scheduler{live: make(map[EventID]*event)}
+	return &Scheduler{queue: make(eventHeap, 0, initialQueueCap)}
 }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// Pending reports the number of events still queued (including cancelled
-// entries not yet drained).
-func (s *Scheduler) Pending() int { return len(s.live) }
+// Pending reports the number of events still scheduled to fire.
+// Lazily-cancelled entries awaiting removal are excluded: Cancel
+// decrements the pending count immediately even though the queue drains
+// the entry later.
+func (s *Scheduler) Pending() int { return len(s.queue) - s.cancelled }
+
+// QueueLen reports the physical queue length, including lazily-cancelled
+// entries not yet drained — the quantity bulk compaction bounds.
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// alloc returns a fresh entry, reusing the free list when possible.
+func (s *Scheduler) alloc() *event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// recycle invalidates outstanding handles to e and returns it to the
+// free list for reuse by a later At.
+func (s *Scheduler) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.cancelled = false
+	e.index = -1
+	s.free = append(s.free, e)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past (before
 // Now) is an error in a discrete-event simulation and panics: it always
@@ -118,11 +173,10 @@ func (s *Scheduler) At(t Time, fn func()) EventID {
 		panic("sim: nil event function")
 	}
 	s.seq++
-	s.nextID++
-	e := &event{at: t, seq: s.seq, id: s.nextID, fn: fn}
+	e := s.alloc()
+	e.at, e.seq, e.fn = t, s.seq, fn
 	heap.Push(&s.queue, e)
-	s.live[e.id] = e
-	return e.id
+	return EventID{e: e, gen: e.gen}
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
@@ -134,15 +188,44 @@ func (s *Scheduler) After(d Duration, fn func()) EventID {
 }
 
 // Cancel removes a scheduled event. It reports whether the event was still
-// pending. Cancelling an already-fired or unknown ID is a no-op.
+// pending. Cancelling an already-fired, already-cancelled, or zero handle
+// is a no-op. The entry stays queued until popped or compacted; Pending
+// excludes it immediately.
 func (s *Scheduler) Cancel(id EventID) bool {
-	e, ok := s.live[id]
-	if !ok {
+	e := id.e
+	if e == nil || e.gen != id.gen || e.cancelled {
 		return false
 	}
 	e.cancelled = true
-	delete(s.live, id)
+	s.cancelled++
+	s.maybeCompact()
 	return true
+}
+
+// maybeCompact rebuilds the heap without its cancelled entries once they
+// outnumber the pending ones, bounding queue growth under cancel-heavy
+// workloads (timer churn would otherwise leak entries until drain). The
+// rebuild is O(n) against Ω(n) cancellations since the last one, so the
+// amortized cost per Cancel is O(1).
+func (s *Scheduler) maybeCompact() {
+	if len(s.queue) < compactFloor || 2*s.cancelled <= len(s.queue) {
+		return
+	}
+	keep := s.queue[:0]
+	for _, e := range s.queue {
+		if e.cancelled {
+			s.recycle(e)
+			continue
+		}
+		e.index = len(keep)
+		keep = append(keep, e)
+	}
+	for i := len(keep); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = keep
+	s.cancelled = 0
+	heap.Init(&s.queue)
 }
 
 // Step fires the next event. It reports false when the queue is empty.
@@ -150,12 +233,18 @@ func (s *Scheduler) Step() bool {
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(*event)
 		if e.cancelled {
+			s.cancelled--
+			s.recycle(e)
 			continue
 		}
-		delete(s.live, e.id)
+		fn := e.fn
 		s.now = e.at
+		// Recycle before firing: fn may schedule and reuse the entry,
+		// and the generation bump has already invalidated handles to
+		// the fired event.
+		s.recycle(e)
 		s.Executed++
-		e.fn()
+		fn()
 		return true
 	}
 	return false
@@ -178,7 +267,8 @@ func (s *Scheduler) AdvanceTo(t Time) {
 func (s *Scheduler) peekTime() Time {
 	for len(s.queue) > 0 {
 		if s.queue[0].cancelled {
-			heap.Pop(&s.queue)
+			s.cancelled--
+			s.recycle(heap.Pop(&s.queue).(*event))
 			continue
 		}
 		return s.queue[0].at
@@ -186,28 +276,36 @@ func (s *Scheduler) peekTime() Time {
 	return Infinity
 }
 
-// Run executes events until the queue drains or the event budget is hit.
+// overBudget reports whether firing one more event would exceed MaxEvents.
+func (s *Scheduler) overBudget() bool {
+	return s.MaxEvents > 0 && s.Executed >= s.MaxEvents
+}
+
+// Run executes events until the queue drains or the event budget is hit:
+// exactly MaxEvents events fire before ErrEventBudget.
 func (s *Scheduler) Run() error {
-	for s.Step() {
-		if s.MaxEvents > 0 && s.Executed > s.MaxEvents {
+	for s.peekTime() != Infinity {
+		if s.overBudget() {
 			return ErrEventBudget
 		}
+		s.Step()
 	}
 	return nil
 }
 
 // RunUntil executes events with time ≤ deadline, then advances the clock to
-// the deadline. Events scheduled after the deadline remain queued.
+// the deadline. Events scheduled after the deadline remain queued. Like
+// Run, it enforces the event budget exactly.
 func (s *Scheduler) RunUntil(deadline Time) error {
 	for {
 		next := s.peekTime()
-		if next > deadline {
+		if next == Infinity || next > deadline {
 			break
 		}
-		s.Step()
-		if s.MaxEvents > 0 && s.Executed > s.MaxEvents {
+		if s.overBudget() {
 			return ErrEventBudget
 		}
+		s.Step()
 	}
 	if deadline > s.now && deadline != Infinity {
 		s.now = deadline

@@ -120,10 +120,32 @@ func TestCancelPreventsExecution(t *testing.T) {
 	}
 }
 
-func TestCancelUnknownIDIsNoop(t *testing.T) {
+func TestCancelZeroIDIsNoop(t *testing.T) {
 	s := NewScheduler()
-	if s.Cancel(EventID(999)) {
-		t.Fatal("Cancel of unknown ID returned true")
+	if s.Cancel(EventID{}) {
+		t.Fatal("Cancel of zero ID returned true")
+	}
+}
+
+func TestCancelStaleHandleAfterReuse(t *testing.T) {
+	s := NewScheduler()
+	stale := s.At(1, func() {})
+	if err := s.Run(); err != nil { // fires and recycles the entry
+		t.Fatal(err)
+	}
+	ran := false
+	fresh := s.At(2, func() { ran = true }) // reuses the recycled entry
+	if fresh.e != stale.e {
+		t.Skip("free list did not reuse the entry") // allocation fallback; nothing to check
+	}
+	if s.Cancel(stale) {
+		t.Fatal("stale handle cancelled a reused entry")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("reused event did not run")
 	}
 }
 
@@ -151,6 +173,23 @@ func TestRunUntilStopsAtDeadline(t *testing.T) {
 	}
 }
 
+// RunUntil(Infinity) must return once the queue drains instead of
+// spinning on the Infinity <= Infinity comparison.
+func TestRunUntilInfinityTerminates(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	s.At(1, func() { fired++ })
+	if err := s.RunUntil(Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 1 {
+		t.Fatalf("Now() = %v, want 1 (Infinity must not advance the clock)", s.Now())
+	}
+}
+
 func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
 	s := NewScheduler()
 	if err := s.RunUntil(42); err != nil {
@@ -169,6 +208,125 @@ func TestEventBudget(t *testing.T) {
 	rearm()
 	if err := s.Run(); err != ErrEventBudget {
 		t.Fatalf("Run = %v, want ErrEventBudget", err)
+	}
+}
+
+// The budget is exact: precisely MaxEvents events fire before
+// ErrEventBudget, and a schedule that fits the budget exactly completes
+// without error (regression for the off-by-one that let MaxEvents+1
+// events execute).
+func TestEventBudgetExact(t *testing.T) {
+	s := NewScheduler()
+	s.MaxEvents = 10
+	var rearm func()
+	rearm = func() { s.After(1, rearm) }
+	rearm()
+	if err := s.Run(); err != ErrEventBudget {
+		t.Fatalf("Run = %v, want ErrEventBudget", err)
+	}
+	if s.Executed != 10 {
+		t.Fatalf("Executed = %d, want exactly MaxEvents = 10", s.Executed)
+	}
+
+	s = NewScheduler()
+	s.MaxEvents = 10
+	fired := 0
+	for i := 0; i < 10; i++ {
+		s.At(Time(i), func() { fired++ })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run with schedule == budget errored: %v", err)
+	}
+	if fired != 10 {
+		t.Fatalf("fired = %d, want 10", fired)
+	}
+
+	s = NewScheduler()
+	s.MaxEvents = 3
+	for i := 0; i < 10; i++ {
+		s.At(Time(i), func() {})
+	}
+	if err := s.RunUntil(100); err != ErrEventBudget {
+		t.Fatalf("RunUntil = %v, want ErrEventBudget", err)
+	}
+	if s.Executed != 3 {
+		t.Fatalf("RunUntil Executed = %d, want exactly 3", s.Executed)
+	}
+}
+
+// Pending excludes lazily-cancelled entries: Cancel-then-Pending sees
+// the count drop immediately, before the queue drains the entry.
+func TestPendingExcludesCancelled(t *testing.T) {
+	s := NewScheduler()
+	ids := make([]EventID, 8)
+	for i := range ids {
+		ids[i] = s.At(Time(i+1), func() {})
+	}
+	if s.Pending() != 8 {
+		t.Fatalf("Pending = %d, want 8", s.Pending())
+	}
+	for i := 0; i < 3; i++ {
+		if !s.Cancel(ids[i]) {
+			t.Fatalf("Cancel %d returned false", i)
+		}
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("Pending after 3 cancels = %d, want 5", s.Pending())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() != 0 || s.Executed != 5 {
+		t.Fatalf("after Run: Pending = %d, Executed = %d, want 0 and 5",
+			s.Pending(), s.Executed)
+	}
+}
+
+// Cancel-heavy workloads must not leak cancelled entries until drain:
+// bulk compaction keeps the physical queue proportional to the pending
+// count.
+func TestCancelHeavyCompaction(t *testing.T) {
+	s := NewScheduler()
+	const n = 100_000
+	ids := make([]EventID, n)
+	for i := range ids {
+		ids[i] = s.At(Time(i+1), func() {})
+	}
+	peak := s.QueueLen()
+	if peak != n {
+		t.Fatalf("QueueLen = %d, want %d", peak, n)
+	}
+	for _, id := range ids {
+		s.Cancel(id)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+	if s.QueueLen() >= compactFloor {
+		t.Fatalf("QueueLen = %d after cancelling all %d: compaction did not shrink the queue",
+			s.QueueLen(), n)
+	}
+	if s.Step() {
+		t.Fatal("Step fired a cancelled event")
+	}
+}
+
+// The hot path is allocation-free in steady state: fired events return
+// to the free list and are reused by later schedules.
+func TestSchedulerSteadyStateAllocs(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	for i := 0; i < 1024; i++ { // warm the heap and free list
+		s.After(1, fn)
+	}
+	for s.Step() {
+	}
+	allocs := testing.AllocsPerRun(10_000, func() {
+		s.After(1, fn)
+		s.Step()
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state allocations per scheduled event = %v, want ≤ 1", allocs)
 	}
 }
 
@@ -394,6 +552,24 @@ func TestRound(t *testing.T) {
 		if got := Round(in); got != want {
 			t.Errorf("Round(%v) = %d, want %d", in, got, want)
 		}
+	}
+}
+
+// BenchmarkScheduler exercises the timer-churn hot path: each iteration
+// schedules a kept timer and a decoy, cancels the decoy, and fires one
+// event — the pattern refresh loops and piggyback windows generate.
+// Steady-state allocations per scheduled event must stay ≤ 1 (they are 0:
+// entries come from the free list; the closure is created once).
+func BenchmarkScheduler(b *testing.B) {
+	s := NewScheduler()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(1, fn)
+		decoy := s.After(2, fn)
+		s.Cancel(decoy)
+		s.Step()
 	}
 }
 

@@ -49,6 +49,10 @@ type options struct {
 	observers  []Observer
 	// timeScale compresses scenario time on the live transport.
 	timeScale float64
+	// trials runs the scripted workload this many times with derived
+	// per-trial seeds; parallelism caps the worker pool executing them.
+	trials      int
+	parallelism int
 	// errs collects option-level validation failures; New reports them
 	// all at once instead of building a broken deployment.
 	errs []error
@@ -262,6 +266,39 @@ func WithPiggyback(window time.Duration) Option {
 // options give identical simulated runs.
 func WithSeed(seed int64) Option {
 	return func(o *options) { o.p.Seed = seed }
+}
+
+// WithTrials makes Run execute the scripted workload n times as
+// independent trials — fresh simulation each, seeds derived from the
+// run seed (trial 0 keeps it, so WithTrials(1) is a plain run) — and
+// return one Result whose counters merge every trial in trial order.
+// Trials execute concurrently on a worker pool (see WithParallelism)
+// yet the merged Result is bit-identical to a sequential sweep, because
+// each trial is self-contained and the merge order is fixed. Simulated
+// transport only. A non-positive count is a configuration error.
+func WithTrials(n int) Option {
+	return func(o *options) {
+		if n <= 0 {
+			o.reject("trial count %d must be positive", n)
+			return
+		}
+		o.trials = n
+	}
+}
+
+// WithParallelism caps the number of workers running WithTrials trials
+// concurrently (default GOMAXPROCS; each worker drives at most one
+// deployment at a time). WithParallelism(1) forces a sequential sweep —
+// useful for pinning determinism against the parallel path. A
+// non-positive count is a configuration error.
+func WithParallelism(n int) Option {
+	return func(o *options) {
+		if n <= 0 {
+			o.reject("parallelism %d must be positive", n)
+			return
+		}
+		o.parallelism = n
+	}
 }
 
 // WithTraffic installs a client-query generator for the scripted

@@ -1,0 +1,127 @@
+// Tests of the multi-trial sweep surface: WithTrials/WithParallelism on
+// the simulated transport. Run under -race (CI does) these also prove
+// the isolation invariant that internal/live/scenario.go documents for
+// closed-loop clients: concurrent consumers must never share one
+// TrafficEnv RNG — here, every parallel trial owns a distinct env.Rand.
+package cup_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cup"
+)
+
+// rngRecorder wraps a Traffic generator and records the *rand.Rand each
+// trial's TrafficEnv carries at Stream-bind time.
+type rngRecorder struct {
+	inner cup.Traffic
+
+	mu   sync.Mutex
+	seen []*rand.Rand
+}
+
+func (r *rngRecorder) Name() string { return "rng-recorder" }
+
+func (r *rngRecorder) Stream(env cup.TrafficEnv) cup.TrafficStream {
+	r.mu.Lock()
+	r.seen = append(r.seen, env.Rand)
+	r.mu.Unlock()
+	return r.inner.Stream(env)
+}
+
+func trialOpts(extra ...cup.Option) []cup.Option {
+	opts := []cup.Option{
+		cup.WithNodes(64),
+		cup.WithQueryRate(4),
+		cup.WithQueryDuration(cup.Seconds(120)),
+		cup.WithSeed(11),
+	}
+	return append(opts, extra...)
+}
+
+func runTrials(t *testing.T, extra ...cup.Option) *cup.Result {
+	t.Helper()
+	d, err := cup.New(trialOpts(extra...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	res, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Every parallel trial binds its Traffic stream to a distinct RNG: the
+// trials share nothing but the generator value itself.
+func TestParallelTrialsDistinctRNGs(t *testing.T) {
+	rec := &rngRecorder{inner: cup.PoissonTraffic(0)}
+	runTrials(t, cup.WithTrials(8), cup.WithParallelism(4), cup.WithTraffic(rec))
+	// 8 trial binds plus one from the deployment's own (interactive)
+	// runtime built at New time; every one must carry its own RNG.
+	if len(rec.seen) < 8 {
+		t.Fatalf("recorded %d trial RNGs, want at least 8", len(rec.seen))
+	}
+	distinct := make(map[*rand.Rand]bool, len(rec.seen))
+	for _, r := range rec.seen {
+		if r == nil {
+			t.Fatal("a trial bound a nil env.Rand")
+		}
+		if distinct[r] {
+			t.Fatal("two parallel trials share one env.Rand")
+		}
+		distinct[r] = true
+	}
+}
+
+// The merged Result is bit-identical whatever the parallelism, and a
+// one-trial sweep equals a plain run.
+func TestTrialsMergeDeterministic(t *testing.T) {
+	seq := runTrials(t, cup.WithTrials(4), cup.WithParallelism(1)).Counters
+	par := runTrials(t, cup.WithTrials(4), cup.WithParallelism(4)).Counters
+	if seq != par {
+		t.Fatalf("parallel merge diverged from sequential:\n%v\n%v", seq.String(), par.String())
+	}
+	if seq.Queries == 0 {
+		t.Fatal("sweep produced no queries")
+	}
+
+	one := runTrials(t, cup.WithTrials(1)).Counters
+	plain := runTrials(t).Counters
+	if one != plain {
+		t.Fatalf("WithTrials(1) diverged from a plain run:\n%v\n%v", one.String(), plain.String())
+	}
+	if seq == plain {
+		t.Fatal("4-trial sweep equals a single run: per-trial seeds not applied")
+	}
+}
+
+// WithTrials is a simulated-transport sweep; a live deployment rejects it.
+func TestTrialsRejectedOnLive(t *testing.T) {
+	d, err := cup.New(
+		cup.WithTransport(cup.Live),
+		cup.WithNodes(8),
+		cup.WithTrials(2),
+		cup.WithTraffic(cup.PoissonTraffic(1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Run(context.Background()); err == nil {
+		t.Fatal("Run with WithTrials on live transport did not error")
+	}
+}
+
+func TestTrialsOptionValidation(t *testing.T) {
+	if _, err := cup.New(cup.WithTrials(0)); err == nil {
+		t.Fatal("WithTrials(0) accepted")
+	}
+	if _, err := cup.New(cup.WithParallelism(-2)); err == nil {
+		t.Fatal("WithParallelism(-2) accepted")
+	}
+}
