@@ -7,7 +7,8 @@
 // fault scripts) and writes the machine-readable perf trajectory to
 // BENCH_scenarios.json; -parallel benchmarks the engine core (scheduler
 // events/sec, allocs/event, Figure-3 sweep wall-time sequential vs
-// parallel) and writes BENCH_core.json.
+// cost-ordered parallel with its per-cell tail, and a four-network live
+// trial sweep) and writes BENCH_core.json.
 //
 //	cupbench                     # all experiments, reduced scale
 //	cupbench -exp table1         # one experiment
@@ -29,6 +30,7 @@ import (
 
 	"cup"
 	"cup/internal/experiment"
+	"cup/internal/metrics"
 	"cup/internal/overlay"
 	"cup/internal/sim"
 )
@@ -112,8 +114,10 @@ func benchScenarios(names []string, ov string, seed int64) error {
 }
 
 // coreBench is the content of BENCH_core.json: the engine-core numbers
-// CI gates on — scheduler hot-path throughput and allocation rate, and
-// the Figure-3 sweep wall-time under the sequential and parallel engine.
+// CI gates on — scheduler hot-path throughput and allocation rate, the
+// Figure-3 sweep wall-time under the sequential and the adaptive
+// parallel engine with its per-cell tail, and a four-trial live sweep
+// (four isolated goroutine networks on the worker pool).
 type coreBench struct {
 	GoMaxProcs     int     `json:"gomaxprocs"`
 	Workers        int     `json:"workers"`
@@ -124,6 +128,16 @@ type coreBench struct {
 	Fig3ParNs      int64   `json:"fig3_parallel_ns"`
 	Fig3Speedup    float64 `json:"fig3_speedup"`
 	Fig3Identical  bool    `json:"fig3_identical"`
+	// Fig3TailNs is the slowest cell of the parallel sweep (the tail
+	// cost-ordered dispatch hides); Fig3P95Ns the 95th-percentile cell.
+	Fig3TailNs int64 `json:"fig3_tail_ns"`
+	Fig3P95Ns  int64 `json:"fig3_p95_ns"`
+	// The live multi-trial sweep: trials × parallelism, wall time, and
+	// the query messages its merged counters carried.
+	LiveTrials    int    `json:"live_trials"`
+	LiveParallel  int    `json:"live_parallelism"`
+	LiveSweepNs   int64  `json:"live_sweep_ns"`
+	LiveQueryMsgs uint64 `json:"live_query_msgs"`
 }
 
 // benchSchedulerCore drives the timer-churn hot path — every fired event
@@ -161,6 +175,38 @@ func benchSchedulerCore(events uint64) (perSec, allocsPerEvent float64) {
 		float64(m1.Mallocs-m0.Mallocs) / float64(scheduled)
 }
 
+// benchLiveSweep times a multi-trial live Run: `trials` isolated
+// goroutine networks, `par` at a time on the worker pool, counters
+// merged in trial order. A compressed scenario (time scale 20) keeps
+// the wall cost a few seconds while still pumping real wall-clock
+// traffic through real channels.
+func benchLiveSweep(seed int64, ov string, trials, par int) (time.Duration, uint64, error) {
+	d, err := cup.New(
+		cup.WithLive(),
+		cup.WithOverlay(ov),
+		cup.WithTrials(trials),
+		cup.WithParallelism(par),
+		cup.WithNodes(64),
+		cup.WithTraffic(cup.PoissonTraffic(0)),
+		cup.WithQueryRate(50),
+		cup.WithLifetime(cup.Seconds(10)),
+		cup.WithQueryWindow(cup.Seconds(10), cup.Seconds(30)),
+		cup.WithTimeScale(20),
+		cup.WithHopDelay(500*time.Microsecond),
+		cup.WithSeed(seed),
+	)
+	if err != nil {
+		return 0, 0, fmt.Errorf("live sweep: %v", err)
+	}
+	defer d.Close()
+	start := time.Now()
+	res, err := d.Run(context.Background())
+	if err != nil {
+		return 0, 0, fmt.Errorf("live sweep: %v", err)
+	}
+	return time.Since(start), res.Counters.QueryHops, nil
+}
+
 // benchCore measures the engine core and writes BENCH_core.json.
 func benchCore(seed int64, ov string, workers int, full bool) error {
 	if workers <= 0 {
@@ -176,17 +222,36 @@ func benchCore(seed int64, ov string, workers int, full bool) error {
 	seqStart := time.Now()
 	seqTable := experiment.Fig3PushLevel(sc)
 	seqNs := time.Since(seqStart)
-	sc.Parallelism = workers
+	// The parallel sweep runs on a shared engine so its per-cell wall
+	// times — and with them the sweep tail — are observable here.
+	eng := experiment.NewEngine(workers)
+	sc.Parallelism, sc.Eng = workers, eng
 	parStart := time.Now()
 	parTable := experiment.Fig3PushLevel(sc)
 	parNs := time.Since(parStart)
+	cellTimes := eng.TrialTimes()
+	tailNs := metrics.Percentile(cellTimes, 1)
+	p95Ns := metrics.Percentile(cellTimes, 0.95)
 	identical := seqTable.Render() == parTable.Render()
 	fmt.Printf("fig3 sweep     %12v sequential %10v parallel (×%d workers, %.2fx, identical=%v)\n",
 		seqNs.Round(time.Millisecond), parNs.Round(time.Millisecond), workers,
 		seqNs.Seconds()/parNs.Seconds(), identical)
+	fmt.Printf("fig3 tail      %12v slowest cell %8v p95 (%d cells, cost-ordered dispatch)\n",
+		tailNs.Round(time.Millisecond), p95Ns.Round(time.Millisecond), len(cellTimes))
 	if !identical {
 		return fmt.Errorf("parallel Figure-3 sweep diverged from sequential output")
 	}
+
+	liveTrials, livePar := 4, workers
+	if livePar > liveTrials {
+		livePar = liveTrials
+	}
+	liveNs, liveMsgs, err := benchLiveSweep(seed, ov, liveTrials, livePar)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("live sweep     %12v wall (%d isolated networks, %d at a time, %d query msgs)\n",
+		liveNs.Round(time.Millisecond), liveTrials, livePar, liveMsgs)
 
 	out, err := json.MarshalIndent(coreBench{
 		GoMaxProcs:     runtime.GOMAXPROCS(0),
@@ -198,6 +263,12 @@ func benchCore(seed int64, ov string, workers int, full bool) error {
 		Fig3ParNs:      parNs.Nanoseconds(),
 		Fig3Speedup:    seqNs.Seconds() / parNs.Seconds(),
 		Fig3Identical:  identical,
+		Fig3TailNs:     tailNs.Nanoseconds(),
+		Fig3P95Ns:      p95Ns.Nanoseconds(),
+		LiveTrials:     liveTrials,
+		LiveParallel:   livePar,
+		LiveSweepNs:    liveNs.Nanoseconds(),
+		LiveQueryMsgs:  liveMsgs,
 	}, "", "  ")
 	if err != nil {
 		return err

@@ -68,10 +68,15 @@ type Deployment struct {
 	p internal.Params
 	// timeScale compresses scenario replay on the live transport.
 	timeScale float64
-	// trials > 1 turns Run into a multi-trial sweep (simulated only);
+	// trials > 1 turns Run into a multi-trial sweep on either transport;
 	// parallelism caps its worker pool (0 = GOMAXPROCS).
 	trials      int
 	parallelism int
+	// liveCfg is the live network configuration New built (or would
+	// build) from the options; live multi-trial sweeps boot one isolated
+	// network per trial from it, varying only the seed and the carved
+	// inbox budget.
+	liveCfg live.Config
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -130,11 +135,14 @@ func New(opts ...Option) (*Deployment, error) {
 	}
 	// The bus is the node observer on both transports; a user observer
 	// supplied through the compatibility Params.Observer field still
-	// reaches it as an attached tap.
+	// reaches it as an attached tap. d.p carries the bus too, so trial
+	// runs built from it emit their interleaved event streams to the
+	// deployment's observers.
 	if o.p.Observer != nil {
 		d.detach = append(d.detach, bus.Attach(o.p.Observer))
 	}
 	o.p.Observer = bus
+	d.p.Observer = bus
 
 	switch o.transport {
 	case Simulated:
@@ -144,7 +152,7 @@ func New(opts ...Option) (*Deployment, error) {
 		if hop == 0 {
 			hop = internal.DefaultLiveHopDelay
 		}
-		d.rt = &liveRuntime{net: live.NewNetwork(live.Config{
+		d.liveCfg = live.Config{
 			Nodes:      o.p.Nodes,
 			Overlay:    o.p.OverlayKind,
 			HopDelay:   hop,
@@ -152,7 +160,11 @@ func New(opts ...Option) (*Deployment, error) {
 			Seed:       o.p.Seed,
 			InboxDepth: o.inboxDepth,
 			Observer:   bus,
-		})}
+		}
+		// The network boots lazily on first use: a multi-trial Run only
+		// ever drives per-trial networks, and must not also pay for an
+		// idle full-budget base network.
+		d.rt = &liveRuntime{cfg: d.liveCfg}
 	default:
 		return nil, fmt.Errorf("cup: unknown transport %d", int(o.transport))
 	}
@@ -265,36 +277,34 @@ func (d *Deployment) EventsDropped() uint64 { return d.bus.Dropped() }
 // WithTimeScale): scripted replica births with periodic refreshes, the
 // traffic pump, and the fault timeline — so a live deployment without a
 // WithTraffic/WithScenario workload still errors, staying interactive.
+// With WithTrials(n), either transport runs the workload n times —
+// fresh simulations or isolated live networks — and merges the trials'
+// counters in trial order.
 func (d *Deployment) Run(ctx context.Context) (*Result, error) {
 	if sr, ok := d.rt.(*simRuntime); ok {
 		if d.trials > 1 {
-			return d.runTrials(ctx)
+			return d.runTrials(ctx, d.runSimTrial)
 		}
 		return sr.run(ctx)
-	}
-	if d.trials > 1 {
-		return nil, fmt.Errorf("cup: WithTrials(%d) is a simulated-transport sweep; a live deployment runs one scenario per Run", d.trials)
 	}
 	if d.p.Traffic == nil {
 		return nil, fmt.Errorf("cup: Run on a live deployment needs a scenario (WithTraffic or WithScenario); interactive deployments are driven through Lookup/Publish")
 	}
-	return d.runLive(ctx)
+	if d.trials > 1 {
+		return d.runTrials(ctx, d.runLiveTrial)
+	}
+	return d.runLiveOn(ctx, d.rt.(*liveRuntime), d.p, d.Publish)
 }
 
-// runTrials executes d.trials independent simulations — fresh overlay,
-// scheduler, and RNG per trial, seeds derived by internal.TrialSeed —
-// on a worker pool and merges their counters in trial order, so the
-// Result is bit-identical whatever the parallelism. The deployment's
-// own runtime is left untouched; observers attached to the bus see the
+// runTrials executes d.trials independent runs of the scripted workload
+// — trial is the transport-specific body, handed the trial index — on a
+// worker pool, and merges their counters in trial order, so the Result
+// does not depend on the parallelism. Each trial is fully isolated
+// (derived seed, own simulation or own live network); the deployment's
+// own runtime is left untouched. Observers attached to the bus see the
 // trials' interleaved event streams.
-func (d *Deployment) runTrials(ctx context.Context) (*Result, error) {
-	workers := d.parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > d.trials {
-		workers = d.trials
-	}
+func (d *Deployment) runTrials(ctx context.Context, trial func(context.Context, int) (*Result, error)) (*Result, error) {
+	workers := d.trialWorkers()
 	results := make([]*Result, d.trials)
 	errs := make([]error, d.trials)
 	tctx, cancel := context.WithCancel(ctx)
@@ -306,11 +316,8 @@ func (d *Deployment) runTrials(ctx context.Context) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				p := d.p
-				p.Seed = internal.TrialSeed(d.p.Seed, i)
-				res, err := internal.NewSimulation(p).RunContext(tctx)
-				results[i], errs[i] = res, err
-				if err != nil {
+				results[i], errs[i] = trial(tctx, i)
+				if errs[i] != nil {
 					cancel() // stop handing out further trials
 				}
 			}
@@ -358,10 +365,72 @@ feed:
 	return merged, nil
 }
 
-// runLive is the live transport's scenario runner: the wall-clock
-// mirror of the simulator's scripted workload.
-func (d *Deployment) runLive(ctx context.Context) (*Result, error) {
-	lr := d.rt.(*liveRuntime)
+// trialWorkers resolves the sweep's worker-pool width.
+func (d *Deployment) trialWorkers() int {
+	workers := d.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > d.trials {
+		workers = d.trials
+	}
+	return workers
+}
+
+// runSimTrial is one simulated trial: a fresh overlay, scheduler, and
+// RNG under the trial's derived seed.
+func (d *Deployment) runSimTrial(ctx context.Context, trial int) (*Result, error) {
+	p := d.p
+	p.Seed = internal.TrialSeed(d.p.Seed, trial)
+	return internal.NewSimulation(p).RunContext(ctx)
+}
+
+// runLiveTrial is one live trial: an isolated goroutine network booted
+// under the trial's derived seed (same topology derivation a simulated
+// trial of that seed uses), with a per-trial inbox budget carved from
+// the deployment's so side-by-side networks cannot overcommit what one
+// deployment was provisioned for. The trial network shares nothing with
+// its siblings but the deployment's event bus.
+func (d *Deployment) runLiveTrial(ctx context.Context, trial int) (*Result, error) {
+	p := d.p
+	p.Seed = internal.TrialSeed(d.p.Seed, trial)
+	cfg := d.liveCfg
+	cfg.Seed = p.Seed
+	cfg.InboxDepth = live.TrialInboxDepth(cfg.InboxDepth, d.trialWorkers())
+	lr := &liveRuntime{cfg: cfg}
+	defer lr.Close()
+
+	// Trial-local Append-vs-Refresh bookkeeping, the per-network mirror
+	// of Deployment.Publish's published map; the refresh pump calls it
+	// from its own goroutine, hence the lock.
+	var mu sync.Mutex
+	published := make(map[pubKey]bool)
+	publish := func(ctx context.Context, key Key, replica int, addr string, lifetime time.Duration) error {
+		mu.Lock()
+		refresh := published[pubKey{key, replica}]
+		mu.Unlock()
+		if err := lr.Publish(ctx, key, replica, addr, lifetime, refresh); err != nil {
+			return err
+		}
+		mu.Lock()
+		published[pubKey{key, replica}] = true
+		mu.Unlock()
+		return nil
+	}
+	return d.runLiveOn(ctx, lr, p, publish)
+}
+
+// runLiveOn is the live transport's scenario runner: the wall-clock
+// mirror of the simulator's scripted workload, executed against one
+// live network (the deployment's own, or an isolated per-trial one).
+// publish carries the caller's Append-vs-Refresh bookkeeping so a trial
+// network never touches the deployment's published map.
+func (d *Deployment) runLiveOn(ctx context.Context, lr *liveRuntime, p internal.Params,
+	publish func(context.Context, Key, int, string, time.Duration) error) (*Result, error) {
+	net := lr.network()
+	if net == nil {
+		return nil, live.ErrClosed
+	}
 	scale := d.timeScale
 	if scale <= 0 {
 		scale = 1
@@ -369,17 +438,17 @@ func (d *Deployment) runLive(ctx context.Context) (*Result, error) {
 
 	// Scripted replica births, as the simulator performs at t≈0, plus a
 	// refresh pump standing in for the refresh-at-expiration loops.
-	keys := make([]Key, d.p.Keys)
+	keys := make([]Key, p.Keys)
 	for i := range keys {
 		keys[i] = Key(fmt.Sprintf("key-%d", i))
 	}
-	life := time.Duration(float64(d.p.Lifetime) / scale * float64(time.Second))
+	life := time.Duration(float64(p.Lifetime) / scale * float64(time.Second))
 	if life < 100*time.Millisecond {
 		life = 100 * time.Millisecond
 	}
 	for _, k := range keys {
-		for r := 0; r < d.p.Replicas; r++ {
-			if err := d.Publish(ctx, k, r, internal.ReplicaAddr(r), life); err != nil {
+		for r := 0; r < p.Replicas; r++ {
+			if err := publish(ctx, k, r, internal.ReplicaAddr(r), life); err != nil {
 				return nil, fmt.Errorf("cup: scenario replica birth %q/%d: %v", k, r, err)
 			}
 		}
@@ -400,8 +469,8 @@ func (d *Deployment) runLive(ctx context.Context) (*Result, error) {
 			case <-tick.C:
 			}
 			for _, k := range keys {
-				for r := 0; r < d.p.Replicas; r++ {
-					_ = d.Publish(refreshCtx, k, r, internal.ReplicaAddr(r), life)
+				for r := 0; r < p.Replicas; r++ {
+					_ = publish(refreshCtx, k, r, internal.ReplicaAddr(r), life)
 				}
 			}
 		}
@@ -409,32 +478,32 @@ func (d *Deployment) runLive(ctx context.Context) (*Result, error) {
 
 	// Workload RNG and popularity map: seeded like the simulator's, so
 	// live scenario replays are deterministic in shape.
-	rng := rand.New(rand.NewSource(d.p.Seed))
+	rng := rand.New(rand.NewSource(p.Seed))
 	env := internal.TrafficEnv{
 		Rand:  rng,
-		Nodes: d.rt.Size(),
+		Nodes: net.Size(),
 		Keys:  keys,
 		PickNode: func() NodeID {
-			return NodeID(rng.Intn(lr.net.Size()))
+			return NodeID(rng.Intn(net.Size()))
 		},
-		PickKey:  internal.KeyPicker(rng, keys, d.p.ZipfSkew),
-		ZipfSkew: d.p.ZipfSkew,
-		Rate:     d.p.QueryRate,
-		Start:    float64(d.p.QueryStart),
-		Duration: float64(d.p.QueryDuration),
+		PickKey:  internal.KeyPicker(rng, keys, p.ZipfSkew),
+		ZipfSkew: p.ZipfSkew,
+		Rate:     p.QueryRate,
+		Start:    float64(p.QueryStart),
+		Duration: float64(p.QueryDuration),
 	}
 
 	// Fault timeline alongside the traffic pump.
 	faultCtx, stopFaults := context.WithCancel(ctx)
 	defer stopFaults()
-	if len(d.p.Faults) > 0 {
-		surf := lr.net.FaultSurface(keys, d.p.Replicas, life, rand.New(rand.NewSource(d.p.Seed+1)))
+	if len(p.Faults) > 0 {
+		surf := net.FaultSurface(keys, p.Replicas, life, rand.New(rand.NewSource(p.Seed+1)))
 		go func() {
-			_ = lr.net.RunFaults(faultCtx, d.p.Faults, surf, env.Start, env.Duration, scale)
+			_ = net.RunFaults(faultCtx, p.Faults, surf, env.Start, env.Duration, scale)
 		}()
 	}
 
-	if err := lr.net.PumpTraffic(ctx, d.p.Traffic, env, scale); err != nil {
+	if err := net.PumpTraffic(ctx, p.Traffic, env, scale); err != nil {
 		return nil, err
 	}
 	stopFaults()
@@ -442,7 +511,7 @@ func (d *Deployment) runLive(ctx context.Context) (*Result, error) {
 	if err := lr.Settle(ctx); err != nil {
 		return nil, err
 	}
-	return &Result{Params: d.p, Counters: lr.Counters()}, nil
+	return &Result{Params: p, Counters: lr.Counters()}, nil
 }
 
 // Keys lists the scripted workload's keys on the simulated transport
@@ -455,7 +524,8 @@ func (d *Deployment) Keys() []Key {
 }
 
 // Now returns the deployment clock: virtual seconds on the simulator,
-// wall-clock seconds since start on the live network.
+// wall-clock seconds since boot on the live network (zero before the
+// lazily-booted network's first use).
 func (d *Deployment) Now() sim.Time {
 	switch rt := d.rt.(type) {
 	case *simRuntime:
@@ -463,7 +533,10 @@ func (d *Deployment) Now() sim.Time {
 		defer rt.mu.Unlock()
 		return rt.s.Sched.Now()
 	case *liveRuntime:
-		return rt.net.Now()
+		if n := rt.peek(); n != nil {
+			return n.Now()
+		}
+		return 0
 	default:
 		return 0
 	}
@@ -583,44 +656,101 @@ func (r *simRuntime) run(ctx context.Context) (*Result, error) {
 }
 
 // liveRuntime executes a deployment on the goroutine-per-peer network.
+// The network boots lazily on first use: construction is free, so a
+// multi-trial sweep's base runtime (never driven — trials boot their
+// own networks) costs nothing, and an interactive deployment pays only
+// when the first client call arrives.
 type liveRuntime struct {
-	net *live.Network
+	cfg live.Config
+
+	mu     sync.Mutex
+	n      *live.Network
+	closed bool
+}
+
+// network returns the booted network, booting it on first use. It
+// returns nil only when the runtime was closed before ever booting.
+func (r *liveRuntime) network() *live.Network {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == nil && !r.closed {
+		r.n = live.NewNetwork(r.cfg)
+	}
+	return r.n
+}
+
+// peek returns the network only if it already booted: reads of
+// counters or the clock must not boot a network just to see zeros.
+func (r *liveRuntime) peek() *live.Network {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
 }
 
 func (r *liveRuntime) Transport() Transport { return Live }
 
-func (r *liveRuntime) Size() int { return r.net.Size() }
+func (r *liveRuntime) Size() int {
+	if n := r.network(); n != nil {
+		return n.Size()
+	}
+	return 0
+}
 
-func (r *liveRuntime) Authority(key Key) NodeID { return r.net.Authority(key) }
+func (r *liveRuntime) Authority(key Key) NodeID {
+	if n := r.network(); n != nil {
+		return n.Authority(key)
+	}
+	return 0
+}
 
 func (r *liveRuntime) LookupAt(ctx context.Context, at NodeID, key Key) ([]Entry, error) {
-	return r.net.Lookup(ctx, at, key)
+	n := r.network()
+	if n == nil {
+		return nil, live.ErrClosed
+	}
+	return n.Lookup(ctx, at, key)
 }
 
 func (r *liveRuntime) Publish(ctx context.Context, key Key, replica int, addr string, lifetime time.Duration, refresh bool) error {
-	if refresh {
-		return r.net.RefreshCtx(ctx, key, replica, addr, lifetime)
+	n := r.network()
+	if n == nil {
+		return live.ErrClosed
 	}
-	return r.net.AddReplicaCtx(ctx, key, replica, addr, lifetime)
+	if refresh {
+		return n.RefreshCtx(ctx, key, replica, addr, lifetime)
+	}
+	return n.AddReplicaCtx(ctx, key, replica, addr, lifetime)
 }
 
 func (r *liveRuntime) Unpublish(ctx context.Context, key Key, replica int) error {
-	return r.net.RemoveReplicaCtx(ctx, key, replica)
+	n := r.network()
+	if n == nil {
+		return live.ErrClosed
+	}
+	return n.RemoveReplicaCtx(ctx, key, replica)
 }
 
 func (r *liveRuntime) SetCapacity(ctx context.Context, id NodeID, c float64) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	r.net.SetCapacity(id, c)
+	n := r.network()
+	if n == nil {
+		return live.ErrClosed
+	}
+	n.SetCapacity(id, c)
 	return nil
 }
 
 func (r *liveRuntime) Inspect(id NodeID, fn func(*Node)) error {
-	if id < 0 || int(id) >= r.net.Size() {
+	n := r.network()
+	if n == nil {
+		return live.ErrClosed
+	}
+	if id < 0 || int(id) >= n.Size() {
 		return fmt.Errorf("cup: inspect of unknown node %v", id)
 	}
-	r.net.Inspect(id, fn)
+	n.Inspect(id, fn)
 	return nil
 }
 
@@ -628,9 +758,13 @@ func (r *liveRuntime) Inspect(id NodeID, fn func(*Node)) error {
 // see no new messages. Messages are counted at send time but sleep one
 // hop delay in flight before delivery can trigger further sends, so the
 // probe window must exceed the hop delay or in-flight traffic would be
-// invisible to it.
+// invisible to it. A never-booted network is trivially settled.
 func (r *liveRuntime) Settle(ctx context.Context) error {
-	window := 2 * r.net.HopDelay()
+	n := r.peek()
+	if n == nil {
+		return nil
+	}
+	window := 2 * n.HopDelay()
 	if window < 15*time.Millisecond {
 		window = 15 * time.Millisecond
 	}
@@ -638,10 +772,10 @@ func (r *liveRuntime) Settle(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if r.net.IsClosed() {
+		if n.IsClosed() {
 			return live.ErrClosed
 		}
-		if r.net.Quiesced(window) {
+		if n.Quiesced(window) {
 			quiet++
 		} else {
 			quiet = 0
@@ -655,7 +789,11 @@ func (r *liveRuntime) Settle(ctx context.Context) error {
 // UpdateHops, clear-bits into ClearBitHops. The per-query hit/miss
 // taxonomy is a simulator-side measurement and stays zero here.
 func (r *liveRuntime) Counters() Counters {
-	st := r.net.Stats()
+	n := r.peek()
+	if n == nil {
+		return metrics.Counters{}
+	}
+	st := n.Stats()
 	return metrics.Counters{
 		QueryHops:    st.QueryMsgs,
 		UpdateHops:   st.UpdateMsgs,
@@ -664,6 +802,12 @@ func (r *liveRuntime) Counters() Counters {
 }
 
 func (r *liveRuntime) Close() error {
-	r.net.Close()
+	r.mu.Lock()
+	r.closed = true
+	n := r.n
+	r.mu.Unlock()
+	if n != nil {
+		n.Close()
+	}
 	return nil
 }

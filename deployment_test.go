@@ -141,10 +141,10 @@ func TestLookupHonorsContextOnBothTransports(t *testing.T) {
 	})
 }
 
-func TestDeploymentRunIsSimulatedOnly(t *testing.T) {
+func TestLiveRunWithoutScenarioErrors(t *testing.T) {
 	d := newDeployment(t, cup.WithTransport(cup.Live), cup.WithNodes(8))
 	if _, err := d.Run(context.Background()); err == nil {
-		t.Fatal("Run on a live deployment must error")
+		t.Fatal("Run on a live deployment without a scenario must error")
 	}
 }
 

@@ -322,8 +322,8 @@ func (a simSurface) Leave(id overlay.NodeID) bool {
 
 // FaultHooks compiles a fault script into simulation Hooks for the
 // query window [start, start+duration] — the bridge that lets the
-// pre-Scenario Hook surface (Params.Hooks, internal/workload) keep
-// working on top of the transport-agnostic fault API.
+// pre-Scenario Hook surface (Params.Hooks) keep working on top of the
+// transport-agnostic fault API.
 func FaultHooks(f Fault, start, duration float64) []Hook {
 	var hooks []Hook
 	for _, ev := range f.Schedule(start, duration) {

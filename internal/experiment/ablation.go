@@ -11,7 +11,6 @@ import (
 	"cup/internal/netmodel"
 	"cup/internal/overlay"
 	"cup/internal/sim"
-	"cup/internal/workload"
 )
 
 // AblationOverlay re-runs the headline comparison on every registered
@@ -52,18 +51,19 @@ func AblationOverlay(sc Scale) *metrics.Table {
 // AblationCoalescing quantifies the query channel's burst coalescing
 // (§2.5 case 2): a flash crowd of queries for one key under CUP (bursts
 // collapse into a single upstream query) versus standard caching (every
-// query keeps its own open connection).
+// query keeps its own open connection). The surge is the public
+// cup.FlashCrowd traffic generator over a near-silent background.
 func AblationCoalescing(sc Scale) *metrics.Table {
 	t := &metrics.Table{Title: "Ablation A2: query coalescing under a flash crowd"}
 	t.Header = []string{"protocol", "queries", "coalesced", "query hops", "total cost"}
-	surge := workload.FlashCrowd{At: 400, Rate: 500, Queries: 2000}
+	surge := cup.FlashCrowd{BaseRate: 0.001, At: 400, SurgeRate: 500, Queries: 2000}
 	modes := []string{"standard", "cup"}
 	eng := sc.engine()
 	futs := make([]*Future, len(modes))
 	for i, mode := range modes {
 		opts := append(sc.base(0.001), // near-silent background
 			cup.WithHopDelay(500*time.Millisecond), // slow network: the burst outruns responses
-			cup.WithHooks(surge.Hooks()...))
+			cup.WithTraffic(surge))
 		if mode == "standard" {
 			opts = append(opts, cup.WithStandardCaching())
 		}
@@ -347,19 +347,19 @@ func AblationChurn(sc Scale) *metrics.Table {
 	cupF := make([]*Future, len(roundsSweep))
 	for i, rounds := range roundsSweep {
 		rounds := rounds
-		hooks := func() []cup.Hook {
+		faults := func() []cup.Fault {
 			if rounds == 0 {
 				return nil
 			}
-			period := sc.duration() / sim.Duration(rounds+1)
-			return workload.NodeChurn{At: 350, Period: period, Rounds: rounds}.Hooks()
+			period := float64(sc.duration()) / float64(rounds+1)
+			return []cup.Fault{cup.NodeChurn{At: 350, Period: period, Rounds: rounds}}
 		}
 		stdF[i] = eng.submit(append(sc.base(5),
 			cup.WithNodes(256), cup.WithOverlay(kind),
-			cup.WithStandardCaching(), cup.WithHooks(hooks()...))...)
+			cup.WithStandardCaching(), cup.WithFaults(faults()...))...)
 		cupF[i] = eng.submit(append(sc.base(5),
 			cup.WithNodes(256), cup.WithOverlay(kind),
-			cup.WithHooks(hooks()...))...)
+			cup.WithFaults(faults()...))...)
 	}
 	for i, rounds := range roundsSweep {
 		std := stdF[i].Result()

@@ -24,7 +24,6 @@ import (
 	"cup/internal/metrics"
 	"cup/internal/policy"
 	"cup/internal/sim"
-	"cup/internal/workload"
 )
 
 // Scale selects the workload size for the experiments.
@@ -43,6 +42,10 @@ type Scale struct {
 	// at any setting: trials are independent runs assembled in a fixed
 	// order.
 	Parallelism int
+	// Eng, when set, is a shared worker pool every experiment run at
+	// this Scale uses instead of building its own — letting a caller
+	// (cmd/cupbench) observe one sweep's dispatch tail via TailTime.
+	Eng *Engine
 }
 
 func (s Scale) seed() int64 {
@@ -345,17 +348,15 @@ var Capacities = []float64{0, 0.25, 0.5, 0.75, 1}
 
 // FigCapacity reproduces Figures 5 (λ=1) and 6 (λ=1000): total cost when
 // 20% of nodes run at reduced outgoing capacity c, under the Up-And-Down
-// and Once-Down-Always-Down schedules, against the standard-caching line.
+// (Recover) and Once-Down-Always-Down schedules, against the
+// standard-caching line. The fault scripts are the public
+// cup.CapacityFault, expanded over the run's own query window.
 func FigCapacity(sc Scale, title string, lambda float64) *metrics.Table {
 	t := &metrics.Table{Title: title}
 	t.Header = []string{"capacity c", "Up-And-Down total", "Once-Down-Always-Down total", "Standard caching"}
 
-	fault := func(c float64) workload.CapacityFault {
-		f := workload.CapacityFault{
-			Capacity:      c,
-			QueryStart:    300,
-			QueryDuration: sc.duration(),
-		}
+	fault := func(c float64, recover bool) cup.CapacityFault {
+		f := cup.CapacityFault{Capacity: c, Recover: recover}
 		if !sc.Full {
 			// Shrink the paper's 5/10/5-minute fault cycle with the query
 			// window so several Up-And-Down cycles still occur.
@@ -369,9 +370,9 @@ func FigCapacity(sc Scale, title string, lambda float64) *metrics.Table {
 	downF := make([]*Future, len(Capacities))
 	for i, c := range Capacities {
 		upF[i] = eng.submit(append(sc.base(lambda),
-			cup.WithHooks(workload.UpAndDown(fault(c))...))...)
+			cup.WithFaults(fault(c, true)))...)
 		downF[i] = eng.submit(append(sc.base(lambda),
-			cup.WithHooks(workload.OnceDownAlwaysDown(fault(c))...))...)
+			cup.WithFaults(fault(c, false)))...)
 	}
 	std := stdF.Result().Counters.TotalCost()
 	for i, c := range Capacities {

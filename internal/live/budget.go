@@ -1,0 +1,85 @@
+// Resource budgets for side-by-side networks. A multi-trial live sweep
+// boots several isolated networks on one machine at once, and two
+// resources need explicit carving so N trials cannot exhaust what one
+// deployment was provisioned for: per-peer mailbox memory (the inbox
+// budget) and loopback listeners (the port budget of the TCP runtime).
+package live
+
+import (
+	"fmt"
+	"sync"
+
+	"cup/internal/cup"
+)
+
+// MinInboxDepth is the floor a trial network's per-peer mailbox is ever
+// carved down to: below this, protocol bursts (a refresh wave fanning
+// out through an interest tree) would block peer goroutines on their
+// own neighbors' inboxes and the trial would measure backpressure
+// artifacts instead of the protocol.
+const MinInboxDepth = 64
+
+// TrialInboxDepth carves one deployment's per-peer inbox budget into
+// disjoint shares for `concurrent` trial networks running side by side.
+// The deployment's configured depth (default cup.DefaultInboxDepth) is
+// treated as the machine's mailbox budget per peer slot; each of the
+// networks that actually run at once — the worker-pool width, not the
+// total trial count — gets an equal share, floored at MinInboxDepth.
+func TrialInboxDepth(base, concurrent int) int {
+	if base <= 0 {
+		base = cup.DefaultInboxDepth
+	}
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	d := base / concurrent
+	if d < MinInboxDepth {
+		d = MinInboxDepth
+	}
+	return d
+}
+
+// DefaultPortBudget caps the loopback listeners all concurrently
+// running TCP networks may hold in total. One TCPNetwork takes one
+// listener per peer; without a shared budget, parallel trial sweeps of
+// TCP deployments would race the kernel's ephemeral-port range and fail
+// with unhelpful bind errors mid-sweep instead of a clear rejection up
+// front.
+const DefaultPortBudget = 4096
+
+// portBudget tracks listeners currently held against DefaultPortBudget.
+var portBudget struct {
+	sync.Mutex
+	used int
+}
+
+// acquirePorts reserves n loopback listeners against the shared budget,
+// failing fast when a new network would overcommit it.
+func acquirePorts(n int) error {
+	portBudget.Lock()
+	defer portBudget.Unlock()
+	if portBudget.used+n > DefaultPortBudget {
+		return fmt.Errorf("live: port budget exhausted: %d listeners held, %d requested, budget %d",
+			portBudget.used, n, DefaultPortBudget)
+	}
+	portBudget.used += n
+	return nil
+}
+
+// releasePorts returns n listeners to the budget.
+func releasePorts(n int) {
+	portBudget.Lock()
+	defer portBudget.Unlock()
+	portBudget.used -= n
+	if portBudget.used < 0 {
+		panic("live: port budget released below zero")
+	}
+}
+
+// PortsInUse reports listeners currently held against the budget
+// (diagnostics and tests).
+func PortsInUse() int {
+	portBudget.Lock()
+	defer portBudget.Unlock()
+	return portBudget.used
+}

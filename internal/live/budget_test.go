@@ -1,0 +1,58 @@
+package live
+
+import (
+	"testing"
+
+	"cup/internal/cup"
+)
+
+func TestTrialInboxDepthCarving(t *testing.T) {
+	cases := []struct {
+		base, concurrent, want int
+	}{
+		{1024, 1, 1024},
+		{1024, 4, 256},
+		{1024, 32, MinInboxDepth}, // 32 shares would undercut the floor
+		{0, 2, cup.DefaultInboxDepth / 2},
+		{128, 0, 128},
+		{100, 3, MinInboxDepth}, // 33 < floor
+	}
+	for _, c := range cases {
+		if got := TrialInboxDepth(c.base, c.concurrent); got != c.want {
+			t.Errorf("TrialInboxDepth(%d, %d) = %d, want %d", c.base, c.concurrent, got, c.want)
+		}
+	}
+}
+
+func TestPortBudgetAccounting(t *testing.T) {
+	before := PortsInUse()
+	if err := acquirePorts(16); err != nil {
+		t.Fatal(err)
+	}
+	if got := PortsInUse(); got != before+16 {
+		t.Fatalf("PortsInUse = %d after acquire, want %d", got, before+16)
+	}
+	if err := acquirePorts(DefaultPortBudget); err == nil {
+		releasePorts(DefaultPortBudget)
+		t.Fatal("overcommitting the port budget did not fail")
+	}
+	releasePorts(16)
+	if got := PortsInUse(); got != before {
+		t.Fatalf("PortsInUse = %d after release, want %d", got, before)
+	}
+}
+
+func TestTCPNetworkHoldsAndReleasesPortBudget(t *testing.T) {
+	before := PortsInUse()
+	tn, err := NewTCPNetwork(4, 1, cup.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PortsInUse(); got != before+4 {
+		t.Fatalf("PortsInUse = %d with a 4-peer network up, want %d", got, before+4)
+	}
+	tn.Close()
+	if got := PortsInUse(); got != before {
+		t.Fatalf("PortsInUse = %d after Close, want %d", got, before)
+	}
+}

@@ -25,6 +25,7 @@ type TCPNetwork struct {
 	router *cup.OverlayRouter
 	start  time.Time
 	peers  []*tcpPeer
+	ports  int // listeners reserved against the shared port budget
 	wg     sync.WaitGroup
 	closed chan struct{}
 	once   sync.Once
@@ -52,10 +53,16 @@ type tcpWork struct {
 }
 
 // NewTCPNetwork starts n peers listening on 127.0.0.1 ephemeral ports
-// over a seeded CAN overlay. Close releases all sockets and goroutines.
+// over a seeded CAN overlay. The n listeners are drawn from the shared
+// port budget (see budget.go), so concurrent networks fail fast instead
+// of racing the kernel's ephemeral-port range. Close releases all
+// sockets, goroutines, and the budget reservation.
 func NewTCPNetwork(n int, seed int64, cfg cup.Config) (*TCPNetwork, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("live: need at least one peer, got %d", n)
+	}
+	if err := acquirePorts(n); err != nil {
+		return nil, err
 	}
 	if cfg.Policy == nil {
 		cfg = cup.Defaults()
@@ -65,6 +72,7 @@ func NewTCPNetwork(n int, seed int64, cfg cup.Config) (*TCPNetwork, error) {
 		ov:     ov,
 		router: cup.NewOverlayRouter(ov),
 		start:  time.Now(),
+		ports:  n,
 		closed: make(chan struct{}),
 	}
 	tn.peers = make([]*tcpPeer, n)
@@ -105,7 +113,8 @@ func (tn *TCPNetwork) Addr(id overlay.NodeID) string { return tn.peers[id].ln.Ad
 // Authority returns the node owning key.
 func (tn *TCPNetwork) Authority(key overlay.Key) overlay.NodeID { return tn.ov.Owner(key) }
 
-// Close tears the network down: listeners, connections, goroutines.
+// Close tears the network down: listeners, connections, goroutines, and
+// the port-budget reservation.
 func (tn *TCPNetwork) Close() {
 	tn.once.Do(func() {
 		close(tn.closed)
@@ -122,6 +131,7 @@ func (tn *TCPNetwork) Close() {
 			}
 			p.mu.Unlock()
 		}
+		releasePorts(tn.ports)
 	})
 	tn.wg.Wait()
 }

@@ -2,12 +2,16 @@
 // miss cost in hops, update-propagation and clear-bit overhead, total cost,
 // hit/miss/freshness-miss counts, per-miss latency, and justified-update
 // accounting. It also provides the plain-text table renderer used by
-// cmd/cupbench to print the paper's tables and figure series.
+// cmd/cupbench to print the paper's tables and figure series, and the
+// duration-tail summaries (Percentile) the bench harness reports for
+// sweep scheduling.
 package metrics
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"time"
 )
 
 // Counters aggregates one simulation run. All hop counters count message
@@ -198,6 +202,34 @@ func (t *Table) Render() string {
 		fmt.Fprintf(&b, "%s\n", t.Caption)
 	}
 	return b.String()
+}
+
+// Percentile returns the q-quantile (0 ≤ q ≤ 1, nearest-rank) of a set
+// of wall-clock samples — the engine's per-trial times. q=1 is the
+// sweep tail: the slowest cell, the quantity adaptive dispatch hides
+// behind the rest of the pool's work. The input is not modified; an
+// empty set returns zero.
+func Percentile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	// Nearest rank: ceil(q·n) converted to a zero-based index.
+	rank := int(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }
 
 // F formats a float compactly for table cells.

@@ -4,7 +4,29 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
+
+func TestPercentile(t *testing.T) {
+	samples := []time.Duration{5, 1, 4, 2, 3} // unsorted on purpose
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1}, {0.2, 1}, {0.4, 2}, {0.5, 3}, {0.9, 5}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(samples, c.q); got != c.want {
+			t.Errorf("Percentile(q=%g) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if samples[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("Percentile(nil) = %d, want 0", got)
+	}
+}
 
 func TestCountersIdentities(t *testing.T) {
 	c := Counters{

@@ -99,6 +99,12 @@ const initialQueueCap = 256
 // and compacting them would churn for no memory win.
 const compactFloor = 64
 
+// shrinkQuiet is how many consecutive fires the queue must spend far
+// below its high-water mark (under a quarter of it) before the free
+// list is shrunk. Large enough that a momentary dip inside a burst
+// never triggers a shrink the next burst would immediately undo.
+const shrinkQuiet = 256
+
 // Scheduler is a discrete-event scheduler. It is not safe for concurrent
 // use; the live runtime (internal/live) uses real goroutines instead.
 // Run independent Schedulers (one per goroutine) for parallel sweeps.
@@ -111,6 +117,12 @@ type Scheduler struct {
 	free []*event
 	// cancelled counts lazily-cancelled entries still sitting in queue.
 	cancelled int
+	// highWater is the largest queue length seen since the last free-list
+	// shrink; quiet counts consecutive fires with the queue far below it.
+	// Together they release pooled events after a burst-then-quiet phase
+	// instead of pinning burst-peak memory forever.
+	highWater int
+	quiet     int
 	// Executed counts events that have fired (for progress reporting and
 	// runaway detection in tests).
 	Executed uint64
@@ -140,6 +152,14 @@ func (s *Scheduler) Pending() int { return len(s.queue) - s.cancelled }
 // QueueLen reports the physical queue length, including lazily-cancelled
 // entries not yet drained — the quantity bulk compaction bounds.
 func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// FreeLen reports the number of pooled entries awaiting reuse — the
+// quantity free-list shrinking bounds after a burst-then-quiet phase.
+func (s *Scheduler) FreeLen() int { return len(s.free) }
+
+// HighWater reports the largest queue length seen since the last
+// free-list shrink.
+func (s *Scheduler) HighWater() int { return s.highWater }
 
 // alloc returns a fresh entry, reusing the free list when possible.
 func (s *Scheduler) alloc() *event {
@@ -176,6 +196,9 @@ func (s *Scheduler) At(t Time, fn func()) EventID {
 	e := s.alloc()
 	e.at, e.seq, e.fn = t, s.seq, fn
 	heap.Push(&s.queue, e)
+	if len(s.queue) > s.highWater {
+		s.highWater = len(s.queue)
+	}
 	return EventID{e: e, gen: e.gen}
 }
 
@@ -244,10 +267,49 @@ func (s *Scheduler) Step() bool {
 		// the fired event.
 		s.recycle(e)
 		s.Executed++
+		s.maybeShrink()
 		fn()
 		return true
 	}
 	return false
+}
+
+// maybeShrink releases pooled entries once the queue has spent
+// shrinkQuiet consecutive fires far below its high-water mark: a burst
+// grows the free list to burst peak, and without shrinking a long quiet
+// phase would pin that peak-size memory for the rest of the run. The
+// retained pool still covers the current queue twice over (never below
+// the initial capacity), so a steady workload never shrinks and then
+// reallocates — the hot path stays allocation-free.
+func (s *Scheduler) maybeShrink() {
+	if 4*len(s.queue) >= s.highWater {
+		s.quiet = 0
+		return
+	}
+	s.quiet++
+	if s.quiet < shrinkQuiet {
+		return
+	}
+	s.quiet = 0
+	keep := 2 * len(s.queue)
+	if keep < initialQueueCap {
+		keep = initialQueueCap
+	}
+	if len(s.free) > keep {
+		if cap(s.free) > 4*keep {
+			// The backing array itself is burst-sized; reallocate so it
+			// is released along with the dropped entries.
+			s.free = append(make([]*event, 0, keep), s.free[:keep]...)
+		} else {
+			for i := keep; i < len(s.free); i++ {
+				s.free[i] = nil
+			}
+			s.free = s.free[:keep]
+		}
+	}
+	// Re-anchor the mark at the current occupancy so a workload that
+	// settles at a lower plateau can keep ratcheting down.
+	s.highWater = len(s.queue)
 }
 
 // NextTime returns the time of the next pending event, or Infinity when

@@ -2,6 +2,7 @@ package cup
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	internal "cup/internal/cup"
@@ -77,6 +78,9 @@ func (o *options) cfg() *Config {
 func WithTransport(t Transport) Option {
 	return func(o *options) { o.transport = t }
 }
+
+// WithLive is shorthand for WithTransport(Live).
+func WithLive() Option { return WithTransport(Live) }
 
 // WithNodes sets the overlay size (default 1024, the paper's n = 2^10).
 // A non-positive count is a configuration error reported by New.
@@ -269,13 +273,18 @@ func WithSeed(seed int64) Option {
 }
 
 // WithTrials makes Run execute the scripted workload n times as
-// independent trials — fresh simulation each, seeds derived from the
+// independent trials — a fresh deployment each, seeds derived from the
 // run seed (trial 0 keeps it, so WithTrials(1) is a plain run) — and
 // return one Result whose counters merge every trial in trial order.
-// Trials execute concurrently on a worker pool (see WithParallelism)
-// yet the merged Result is bit-identical to a sequential sweep, because
-// each trial is self-contained and the merge order is fixed. Simulated
-// transport only. A non-positive count is a configuration error.
+// Trials execute concurrently on a worker pool (see WithParallelism).
+// On the simulated transport each trial is its own simulation and the
+// merged Result is bit-identical to a sequential sweep, because each
+// trial is self-contained and the merge order is fixed. On the live
+// transport each trial boots an isolated goroutine network — disjoint
+// per-trial inbox budgets (see internal/live), topology and workload
+// seeds derived per trial — so N real networks run side by side and
+// their message counters merge in the same fixed trial order. A
+// non-positive count is a configuration error.
 func WithTrials(n int) Option {
 	return func(o *options) {
 		if n <= 0 {
@@ -398,4 +407,30 @@ type Policy = policy.Policy
 // and of flag-driven callers — into the duration options' type.
 func Seconds(s float64) time.Duration {
 	return time.Duration(s * float64(time.Second))
+}
+
+// EstimateCost predicts the relative execution cost of the run a set of
+// options describes — a dimensionless score, not a time. The adaptive
+// experiment engine (internal/experiment) uses it to dispatch a sweep's
+// expensive cells first, so one λ=1000 tail cell cannot idle the worker
+// pool behind a queue of cheap ones; only the ordering matters, so the
+// model is deliberately coarse: query arrivals and replica refreshes,
+// each charged the overlay's O(log n) routing work, times the trial
+// count. Invalid options score like their defaulted values — New is
+// where validation lives.
+func EstimateCost(opts ...Option) float64 {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	p := o.p.WithDefaults()
+	hops := math.Log2(float64(p.Nodes) + 2)
+	queries := p.QueryRate * float64(p.QueryDuration)
+	span := float64(p.QueryStart + p.QueryDuration + p.Drain)
+	refreshes := float64(p.Keys*p.Replicas) * (span/float64(p.Lifetime) + 1)
+	trials := o.trials
+	if trials < 1 {
+		trials = 1
+	}
+	return float64(trials) * (queries + refreshes) * hops
 }
