@@ -1,0 +1,67 @@
+// Bench history: -history appends the freshly written BENCH_core.json
+// row to BENCH_history.jsonl, stamped with the git commit, so the perf
+// trajectory across PRs is a greppable append-only log instead of a
+// single overwritten snapshot. CI uploads the file as an artifact after
+// the bench gate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// historyRow is one line of BENCH_history.jsonl: the full core-bench
+// payload plus provenance (commit, timestamp).
+type historyRow struct {
+	Commit string    `json:"commit"`
+	Time   time.Time `json:"time"`
+	Core   coreBench `json:"core"`
+}
+
+// gitSHA resolves the commit to stamp: GITHUB_SHA in CI, a local
+// `git rev-parse` otherwise, "unknown" when neither is available.
+func gitSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// appendHistory reads the core-bench file and appends one JSONL row to
+// the history file. Idempotence is deliberate non-goal: every run is a
+// data point.
+func appendHistory(corePath, historyPath string, now time.Time) error {
+	raw, err := os.ReadFile(corePath)
+	if err != nil {
+		return fmt.Errorf("bench history: %v (run -parallel first)", err)
+	}
+	var core coreBench
+	if err := json.Unmarshal(raw, &core); err != nil {
+		return fmt.Errorf("bench history: parse %s: %v", corePath, err)
+	}
+	row, err := json.Marshal(historyRow{Commit: gitSHA(), Time: now.UTC(), Core: core})
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(historyPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(row, '\n')); err != nil {
+		return err
+	}
+	fmt.Printf("appended %s row for %s to %s\n", corePath, gitSHA(), historyPath)
+	return nil
+}

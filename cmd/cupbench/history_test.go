@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestAppendHistory(t *testing.T) {
+	dir := t.TempDir()
+	corePath := filepath.Join(dir, "BENCH_core.json")
+	histPath := filepath.Join(dir, "BENCH_history.jsonl")
+
+	core := coreBench{
+		GoMaxProcs:   8,
+		Workers:      8,
+		EventsPerSec: 1.5e7,
+		Fig3Speedup:  3.2,
+	}
+	raw, err := json.Marshal(core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(corePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	if err := appendHistory(corePath, histPath, t0); err != nil {
+		t.Fatal(err)
+	}
+	// Appending is cumulative, one JSONL row per run.
+	if err := appendHistory(corePath, histPath, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(histPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var rows []historyRow
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var r historyRow
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad history row %q: %v", sc.Text(), err)
+		}
+		rows = append(rows, r)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("history rows = %d, want 2", len(rows))
+	}
+	for i, r := range rows {
+		if r.Commit == "" {
+			t.Errorf("row %d: empty commit stamp", i)
+		}
+		if r.Core.EventsPerSec != core.EventsPerSec {
+			t.Errorf("row %d: events/sec %g, want %g", i, r.Core.EventsPerSec, core.EventsPerSec)
+		}
+	}
+	if !rows[1].Time.After(rows[0].Time) {
+		t.Errorf("timestamps not increasing: %v then %v", rows[0].Time, rows[1].Time)
+	}
+}
+
+func TestAppendHistoryMissingCore(t *testing.T) {
+	dir := t.TempDir()
+	err := appendHistory(filepath.Join(dir, "nope.json"), filepath.Join(dir, "h.jsonl"), time.Now())
+	if err == nil {
+		t.Fatal("appendHistory with a missing core file must fail")
+	}
+}
+
+func TestGitSHAPrefersEnv(t *testing.T) {
+	t.Setenv("GITHUB_SHA", "0123456789abcdef0123")
+	if got := gitSHA(); got != "0123456789ab" {
+		t.Fatalf("gitSHA = %q, want the 12-char GITHUB_SHA prefix", got)
+	}
+}

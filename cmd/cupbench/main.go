@@ -31,12 +31,15 @@ import (
 	"cup"
 	"cup/internal/experiment"
 	"cup/internal/metrics"
+	"cup/internal/obs"
 	"cup/internal/overlay"
 	"cup/internal/sim"
 )
 
 // scenarioBench is one row of BENCH_scenarios.json: wall-clock cost and
-// workload volume of a reduced-scale run of one registered scenario.
+// workload volume of a reduced-scale run of one registered scenario,
+// plus a telemetry snapshot of the core protocol series the metrics
+// registry folded from the same run's event stream.
 type scenarioBench struct {
 	Scenario          string  `json:"scenario"`
 	Overlay           string  `json:"overlay"`
@@ -48,6 +51,38 @@ type scenarioBench struct {
 	UpdatesOriginated uint64  `json:"updates_originated"`
 	UpdateHops        uint64  `json:"update_hops"`
 	TotalCostHops     uint64  `json:"total_cost_hops"`
+	// Telemetry holds selected registry series keyed by metric name
+	// (histograms report their sample count).
+	Telemetry map[string]float64 `json:"telemetry,omitempty"`
+}
+
+// telemetrySnapshot collects the core protocol series from a finished
+// deployment's metrics registry for the JSON trajectory.
+func telemetrySnapshot(d *cup.Deployment) map[string]float64 {
+	snap := map[string]float64{}
+	for _, name := range []string{
+		"cup_cutoffs_total",
+		"cup_query_latency_seconds",
+		"cup_update_push_depth",
+	} {
+		if v, ok := d.MetricValue(name); ok {
+			snap[name] = v
+		}
+	}
+	// The push counter is labelled by update taxonomy; export the sum.
+	var pushed float64
+	for _, t := range []string{"first-time", "delete", "refresh", "append"} {
+		if v, ok := d.MetricValue("cup_updates_pushed_total",
+			cup.MetricLabel{Key: "type", Value: t}); ok {
+			pushed += v
+		}
+	}
+	snap["cup_updates_pushed_total"] = pushed
+	if v, ok := d.MetricValue("cup_queries_coalesced_total",
+		cup.MetricLabel{Key: "source", Value: "local"}); ok {
+		snap["cup_queries_coalesced_total{source=local}"] = v
+	}
+	return snap
 }
 
 // benchScenarios runs every named scenario once on the simulated
@@ -73,6 +108,7 @@ func benchScenarios(names []string, ov string, seed int64) error {
 			cup.WithQueryDuration(cup.Seconds(duration)),
 			cup.WithSeed(seed),
 			cup.WithScenario(sc),
+			cup.WithTelemetry(""),
 		}
 		d, err := cup.New(opts...)
 		if err != nil {
@@ -81,8 +117,8 @@ func benchScenarios(names []string, ov string, seed int64) error {
 		start := time.Now()
 		res, err := d.Run(context.Background())
 		elapsed := time.Since(start)
-		d.Close()
 		if err != nil {
+			d.Close()
 			return fmt.Errorf("scenario %q: %v", name, err)
 		}
 		c := res.Counters
@@ -97,7 +133,9 @@ func benchScenarios(names []string, ov string, seed int64) error {
 			UpdatesOriginated: c.UpdatesOriginated,
 			UpdateHops:        c.UpdateHops,
 			TotalCostHops:     c.TotalCost(),
+			Telemetry:         telemetrySnapshot(d),
 		})
+		d.Close()
 		fmt.Printf("%-14s %12v %8d queries %10.0f q/s %8d updates\n",
 			name, elapsed.Round(time.Millisecond), c.Queries,
 			float64(c.Queries)/elapsed.Seconds(), c.UpdatesOriginated)
@@ -223,8 +261,12 @@ func benchCore(seed int64, ov string, workers int, full bool) error {
 	seqTable := experiment.Fig3PushLevel(sc)
 	seqNs := time.Since(seqStart)
 	// The parallel sweep runs on a shared engine so its per-cell wall
-	// times — and with them the sweep tail — are observable here.
+	// times — and with them the sweep tail — are observable here. The
+	// engine is instrumented through the same registry the deployments
+	// use, so the trial-seconds histogram doubles as a wiring check.
 	eng := experiment.NewEngine(workers)
+	reg := obs.NewRegistry()
+	eng.Instrument(reg)
 	sc.Parallelism, sc.Eng = workers, eng
 	parStart := time.Now()
 	parTable := experiment.Fig3PushLevel(sc)
@@ -238,6 +280,16 @@ func benchCore(seed int64, ov string, workers int, full bool) error {
 		seqNs.Seconds()/parNs.Seconds(), identical)
 	fmt.Printf("fig3 tail      %12v slowest cell %8v p95 (%d cells, cost-ordered dispatch)\n",
 		tailNs.Round(time.Millisecond), p95Ns.Round(time.Millisecond), len(cellTimes))
+	if trials, ok := reg.Value("cup_experiment_trial_seconds"); ok && trials > 0 {
+		var sum float64
+		for _, m := range reg.Snapshot() {
+			if m.Name == "cup_experiment_trial_seconds" {
+				sum = m.Sum
+			}
+		}
+		fmt.Printf("trial hist     %12.0f trials %12.3fs total (registry cup_experiment_trial_seconds)\n",
+			trials, sum)
+	}
 	if !identical {
 		return fmt.Errorf("parallel Figure-3 sweep diverged from sequential output")
 	}
@@ -291,6 +343,7 @@ func main() {
 		scenario = flag.String("scenario", "", "with -json: benchmark only this registered scenario")
 		parallel = flag.Bool("parallel", false, "benchmark the engine core (scheduler + parallel sweep) and write BENCH_core.json")
 		workers  = flag.Int("workers", 0, "worker pool size for experiment sweeps (0 = GOMAXPROCS)")
+		history  = flag.Bool("history", false, "append the BENCH_core.json row to BENCH_history.jsonl with the git commit")
 	)
 	flag.Parse()
 
@@ -308,6 +361,21 @@ func main() {
 
 	if *parallel {
 		if err := benchCore(*seed, *ov, *workers, *full); err != nil {
+			fmt.Fprintln(os.Stderr, "cupbench:", err)
+			os.Exit(1)
+		}
+		if *history {
+			if err := appendHistory("BENCH_core.json", "BENCH_history.jsonl", time.Now()); err != nil {
+				fmt.Fprintln(os.Stderr, "cupbench:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if *history {
+		// -history without -parallel appends the committed core row as-is
+		// (used to seed the history from an existing BENCH_core.json).
+		if err := appendHistory("BENCH_core.json", "BENCH_history.jsonl", time.Now()); err != nil {
 			fmt.Fprintln(os.Stderr, "cupbench:", err)
 			os.Exit(1)
 		}

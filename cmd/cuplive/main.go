@@ -2,7 +2,10 @@
 // per peer) through the unified cup.New deployment API and exercises it
 // with a random lookup workload, printing a short report. It demonstrates
 // that the protocol driven by the discrete-event experiments also runs as
-// a real concurrent system.
+// a real concurrent system. With -telemetry the deployment serves
+// Prometheus /metrics, JSON /trace/{key}, and /debug/pprof while it
+// runs; -serve keeps the process alive after the workload so the
+// endpoints can be scraped (CI's telemetry smoke job relies on this).
 package main
 
 import (
@@ -19,28 +22,37 @@ import (
 
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 128, "number of goroutine peers")
-		overlayK = flag.String("overlay", "can", "overlay substrate: "+overlay.KindList())
-		keys     = flag.Int("keys", 4, "distinct keys")
-		replicas = flag.Int("replicas", 2, "replicas per key")
-		lookups  = flag.Int("lookups", 500, "lookups to issue")
-		hop      = flag.Duration("hop", time.Millisecond, "per-hop delay")
-		seed     = flag.Int64("seed", 1, "random seed")
+		nodes     = flag.Int("nodes", 128, "number of goroutine peers")
+		overlayK  = flag.String("overlay", "can", "overlay substrate: "+overlay.KindList())
+		keys      = flag.Int("keys", 4, "distinct keys")
+		replicas  = flag.Int("replicas", 2, "replicas per key")
+		lookups   = flag.Int("lookups", 500, "lookups to issue")
+		hop       = flag.Duration("hop", time.Millisecond, "per-hop delay")
+		seed      = flag.Int64("seed", 1, "random seed")
+		telemetry = flag.String("telemetry", "", "serve /metrics, /trace, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		serve     = flag.Duration("serve", 0, "keep serving telemetry this long after the workload (0 = exit immediately)")
 	)
 	flag.Parse()
 
-	d, err := cup.New(
+	opts := []cup.Option{
 		cup.WithTransport(cup.Live),
 		cup.WithNodes(*nodes),
 		cup.WithOverlay(*overlayK),
 		cup.WithHopDelay(*hop),
 		cup.WithSeed(*seed),
-	)
+	}
+	if *telemetry != "" {
+		opts = append(opts, cup.WithTelemetry(*telemetry))
+	}
+	d, err := cup.New(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cuplive:", err)
 		os.Exit(2)
 	}
 	defer d.Close()
+	if addr := d.TelemetryAddr(); addr != "" {
+		fmt.Printf("telemetry on http://%s (metrics, trace, pprof)\n", addr)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -85,4 +97,9 @@ func main() {
 		c.QueryHops, c.UpdateHops, c.ClearBitHops)
 	fmt.Printf("amortized: %.2f query msgs per lookup (CUP caches absorbed the rest)\n",
 		float64(c.QueryHops)/float64(*lookups))
+
+	if *serve > 0 && d.TelemetryAddr() != "" {
+		fmt.Printf("serving telemetry for %v…\n", *serve)
+		time.Sleep(*serve)
+	}
 }

@@ -68,6 +68,7 @@ func main() {
 		scenario  = flag.String("scenario", "", "scenario from the registry: "+strings.Join(cup.ScenarioNames(), "|")+" (empty = paper's Poisson workload)")
 		transport = flag.String("transport", "sim", "transport: sim|live")
 		timescale = flag.Float64("timescale", 40, "live transport: virtual scenario seconds replayed per wall-clock second")
+		telemetry = flag.String("telemetry", "", "serve /metrics, /trace, /debug/pprof on this address during the run (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -132,6 +133,9 @@ func main() {
 		os.Exit(2)
 	}
 	opts = append(opts, cup.WithConfig(cfg))
+	if *telemetry != "" {
+		opts = append(opts, cup.WithTelemetry(*telemetry))
+	}
 
 	d, err := cup.New(opts...)
 	if err != nil {
@@ -139,6 +143,9 @@ func main() {
 		os.Exit(2)
 	}
 	defer d.Close()
+	if addr := d.TelemetryAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "cupsim: telemetry on http://%s (metrics, trace, pprof)\n", addr)
+	}
 
 	res, err := d.Run(context.Background())
 	if err != nil {

@@ -1,10 +1,12 @@
-// Command cuptrace renders the CUP tree of a key after a simulated
-// workload by consuming the deployment's event bus: which nodes
-// subscribed (interest bits), their depths, cached entry freshness,
-// popularity, and the per-node event traffic (queries issued/answered,
-// updates pushed, cut-offs) — the paper's Figure 2 made inspectable.
+// Command cuptrace inspects update propagation after a simulated
+// workload through the telemetry subsystem (cup.WithTelemetry): the
+// reconstructed cup.Trace span tree of each key — node, parent edge,
+// depth, timestamps, and outcome (forwarded / answered-from-cache /
+// cut-off / absorbed) — alongside the metrics registry's event totals.
+// The paper's Figure 2 made inspectable.
 //
 //	cuptrace -nodes 64 -rate 5 -duration 600
+//	cuptrace -nodes 64 -key key-0        # one key's span tree, depth order
 package main
 
 import (
@@ -12,39 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"cup"
 )
-
-// tally accumulates per-node and network-wide event counts from the bus.
-type tally struct {
-	kinds  map[cup.EventKind]int
-	byNode map[cup.NodeID]*nodeTally
-}
-
-type nodeTally struct {
-	issued, answered, pushed, cutoffs int
-}
-
-func (t *tally) OnEvent(e cup.Event) {
-	t.kinds[e.Kind]++
-	nt := t.byNode[e.Node]
-	if nt == nil {
-		nt = &nodeTally{}
-		t.byNode[e.Node] = nt
-	}
-	switch e.Kind {
-	case cup.EvQueryIssued:
-		nt.issued++
-	case cup.EvQueryAnswered:
-		nt.answered++
-	case cup.EvUpdatePushed:
-		nt.pushed++
-	case cup.EvCutoffFired:
-		nt.cutoffs++
-	}
-}
 
 func main() {
 	var (
@@ -52,18 +24,20 @@ func main() {
 		rate     = flag.Float64("rate", 5, "network query rate λ")
 		duration = flag.Float64("duration", 600, "query window (s)")
 		seed     = flag.Int64("seed", 1, "random seed")
-		maxRows  = flag.Int("max", 40, "max tree rows to print")
+		keys     = flag.Int("keys", 1, "distinct workload keys")
+		key      = flag.String("key", "", "dump one key's span tree in depth order (default: all keys)")
+		maxRows  = flag.Int("max", 40, "max span rows to print per key")
 	)
 	flag.Parse()
 
-	tl := &tally{kinds: make(map[cup.EventKind]int), byNode: make(map[cup.NodeID]*nodeTally)}
 	d, err := cup.New(
 		cup.WithTransport(cup.Simulated),
+		cup.WithTelemetry(""),
 		cup.WithNodes(*nodes),
+		cup.WithKeys(*keys),
 		cup.WithQueryRate(*rate),
 		cup.WithQueryDuration(cup.Seconds(*duration)),
 		cup.WithSeed(*seed),
-		cup.WithObserver(tl),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cuptrace:", err)
@@ -76,75 +50,58 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cuptrace:", err)
 		os.Exit(1)
 	}
-	k := d.Keys()[0]
-	root := d.Authority(k)
 
-	fmt.Printf("CUP tree for %q (authority %v) after %v\n", k, root, d.Now())
 	fmt.Printf("run: %s\n", res.Counters.String())
 	fmt.Printf("events:")
 	for _, kind := range cup.EventKinds {
-		if n := tl.kinds[kind]; n > 0 {
-			fmt.Printf(" %s=%d", kind, n)
+		if n, ok := d.MetricValue("cup_events_total",
+			cup.MetricLabel{Key: "kind", Value: kind.String()}); ok && n > 0 {
+			fmt.Printf(" %s=%g", kind, n)
 		}
 	}
 	fmt.Println()
-	fmt.Println()
 
-	// Breadth-first walk of the interest tree from the root, annotated
-	// with each node's slice of the event stream.
-	type row struct {
-		id       cup.NodeID
-		depth    int
-		pop      int
-		fresh    bool
-		entries  int
-		children []cup.NodeID
-		ev       nodeTally
-	}
-	var rows []row
-	visited := map[cup.NodeID]bool{root: true}
-	frontier := []cup.NodeID{root}
-	for depth := 0; len(frontier) > 0; depth++ {
-		var next []cup.NodeID
-		for _, id := range frontier {
-			r := row{id: id, depth: depth}
-			if err := d.Inspect(id, func(n *cup.Node) {
-				r.pop = n.Popularity(k)
-				r.fresh = n.HasFreshAnswer(k)
-				r.entries = n.CacheStore().Len() + n.LocalDirectory().Len()
-				r.children = n.InterestedNeighbors(k)
-			}); err != nil {
-				fmt.Fprintln(os.Stderr, "cuptrace:", err)
-				os.Exit(1)
-			}
-			if nt := tl.byNode[id]; nt != nil {
-				r.ev = *nt
-			}
-			rows = append(rows, r)
-			for _, child := range r.children {
-				if !visited[child] {
-					visited[child] = true
-					next = append(next, child)
-				}
-			}
+	traceKeys := d.TraceKeys()
+	if *key != "" {
+		tr, ok := d.Trace(cup.Key(*key))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cuptrace: no trace for key %q (traced: %v)\n", *key, traceKeys)
+			os.Exit(1)
 		}
-		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
-		frontier = next
+		printTrace(d, tr, *maxRows)
+		return
 	}
+	for _, k := range traceKeys {
+		if tr, ok := d.Trace(k); ok {
+			printTrace(d, tr, *maxRows)
+		}
+	}
+}
 
-	fmt.Printf("%-6s %-10s %-6s %-6s %-8s %-8s %-8s %-8s %s\n",
-		"depth", "node", "pop", "fresh", "queries", "answers", "pushes", "cutoffs", "entries")
-	for i, r := range rows {
-		if i >= *maxRows {
-			fmt.Printf("… %d more subscribed nodes\n", len(rows)-i)
+// printTrace renders one span tree, already in depth order, indented by
+// depth (unknown depths — nodes only ever seen querying — flat at the
+// end).
+func printTrace(d *cup.Deployment, tr cup.Trace, maxRows int) {
+	fmt.Printf("\npropagation tree for %q (authority %v): %d spans, %d cut-offs\n",
+		tr.Key, tr.Root, len(tr.Spans), tr.Cutoffs)
+	fmt.Printf("%-6s %-10s %-10s %-8s %-8s %-8s %-8s %-8s %-10s %s\n",
+		"depth", "node", "parent", "queries", "answers", "pushes", "recv", "cutoffs", "window", "outcome")
+	for i, s := range tr.Spans {
+		if i >= maxRows {
+			fmt.Printf("… %d more spans\n", len(tr.Spans)-i)
 			break
 		}
-		for d := 0; d < r.depth; d++ {
+		for j := 0; j < s.Depth; j++ {
 			fmt.Print("  ")
 		}
-		fmt.Printf("%-6d %-10v %-6d %-6v %-8d %-8d %-8d %-8d %d\n",
-			r.depth, r.id, r.pop, r.fresh, r.ev.issued, r.ev.answered, r.ev.pushed, r.ev.cutoffs, r.entries)
+		parent := "-"
+		if s.Depth > 0 {
+			parent = fmt.Sprint(s.Parent)
+		}
+		fmt.Printf("%-6d %-10v %-10s %-8d %-8d %-8d %-8d %-8d %-10s %s\n",
+			s.Depth, s.Node, parent, s.Queries, s.Answered, s.Pushes, s.Receives, s.Cutoffs,
+			fmt.Sprintf("%.0f-%.0fs", float64(s.First), float64(s.Last)), s.Outcome)
 	}
-	fmt.Printf("\nsubscribed nodes: %d of %d (tree coverage %.1f%%)\n",
-		len(rows), *nodes, 100*float64(len(rows))/float64(*nodes))
+	fmt.Printf("tree coverage: %d of %d nodes (%.1f%%)\n",
+		len(tr.Spans), d.Size(), 100*float64(len(tr.Spans))/float64(d.Size()))
 }

@@ -131,12 +131,13 @@ const (
 
 // Event kinds carried by the deployment event bus.
 const (
-	EvQueryIssued   = internal.EvQueryIssued
-	EvQueryAnswered = internal.EvQueryAnswered
-	EvUpdatePushed  = internal.EvUpdatePushed
-	EvCutoffFired   = internal.EvCutoffFired
-	EvNodeJoined    = internal.EvNodeJoined
-	EvNodeLeft      = internal.EvNodeLeft
+	EvQueryIssued    = internal.EvQueryIssued
+	EvQueryAnswered  = internal.EvQueryAnswered
+	EvUpdatePushed   = internal.EvUpdatePushed
+	EvCutoffFired    = internal.EvCutoffFired
+	EvNodeJoined     = internal.EvNodeJoined
+	EvNodeLeft       = internal.EvNodeLeft
+	EvQueryCoalesced = internal.EvQueryCoalesced
 )
 
 // EventKinds lists every event kind in declaration order.

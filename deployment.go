@@ -77,6 +77,8 @@ type Deployment struct {
 	// network per trial from it, varying only the seed and the carved
 	// inbox budget.
 	liveCfg live.Config
+	// tele is the WithTelemetry observability state (nil without it).
+	tele *telemetry
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -167,6 +169,12 @@ func New(opts ...Option) (*Deployment, error) {
 		d.rt = &liveRuntime{cfg: d.liveCfg}
 	default:
 		return nil, fmt.Errorf("cup: unknown transport %d", int(o.transport))
+	}
+	if o.telemetry {
+		if err := d.initTelemetry(&o); err != nil {
+			_ = d.rt.Close()
+			return nil, err
+		}
 	}
 	return d, nil
 }
@@ -557,6 +565,9 @@ func (d *Deployment) Close() error {
 	d.mu.Unlock()
 	for _, f := range detach {
 		f()
+	}
+	if d.tele != nil && d.tele.srv != nil {
+		_ = d.tele.srv.Close()
 	}
 	err := d.rt.Close()
 	d.bus.CloseSubscribers()

@@ -1,9 +1,13 @@
-// Observer: tail the shared event bus of a live CUP network. A
+// Observer: watch a live CUP network through its telemetry registry. A
 // background workload publishes, refreshes, and looks up keys from
-// random peers; the main goroutine subscribes to the deployment's event
-// stream and prints a per-second rate line — queries issued/answered,
-// updates pushed, cut-offs — the live introspection a long-running
-// deployment needs (and exactly the stream a simulated run emits).
+// random peers; the main goroutine polls the deployment's metrics
+// registry (populated by the bus-subscribing collector that
+// cup.WithTelemetry attaches) and prints a per-second rate line —
+// queries issued/answered, updates pushed, cut-offs — plus, at the end,
+// the answer-latency histogram and one key's propagation trace. The
+// same registry is what /metrics serves; polling it in-process beats
+// hand-counting bus events because the cumulative series survive
+// subscriber-buffer drops and are shared with every other consumer.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 func main() {
 	d, err := cup.New(
 		cup.WithTransport(cup.Live),
+		cup.WithTelemetry(""), // collect in-process; pass an addr to also serve /metrics
 		cup.WithNodes(64),
 		cup.WithHopDelay(500*time.Microsecond),
 		cup.WithSeed(3),
@@ -39,11 +44,8 @@ func main() {
 		}
 	}
 
-	events, stop := d.Events()
-	defer stop()
-
 	// Background workload: lookups from random peers plus periodic
-	// refreshes, so the bus carries both miss traffic and pushed updates.
+	// refreshes, so the registry sees both miss traffic and pushed updates.
 	go func() {
 		rng := rand.New(rand.NewSource(3))
 		tick := time.NewTicker(5 * time.Millisecond)
@@ -67,29 +69,53 @@ func main() {
 		}
 	}()
 
-	// Consume the bus: per-second event rates.
-	fmt.Println("per-second event rates from the live deployment's bus:")
+	// eventTotal reads one cumulative per-kind series from the registry.
+	eventTotal := func(kind cup.EventKind) float64 {
+		v, _ := d.MetricValue("cup_events_total",
+			cup.MetricLabel{Key: "kind", Value: kind.String()})
+		return v
+	}
+	watched := []cup.EventKind{
+		cup.EvQueryIssued, cup.EvQueryAnswered, cup.EvUpdatePushed, cup.EvCutoffFired,
+	}
+
+	// Poll the cumulative counters once a second and print the deltas:
+	// the same numbers a Prometheus rate() query would compute.
+	fmt.Println("per-second event rates from the telemetry registry:")
 	fmt.Printf("%-8s %8s %9s %8s %8s\n", "t", "queries", "answered", "pushed", "cutoffs")
-	counts := make(map[cup.EventKind]int)
+	prev := make([]float64, len(watched))
 	second := time.NewTicker(time.Second)
 	defer second.Stop()
 	start := time.Now()
-	for {
+	for done := false; !done; {
 		select {
-		case e, ok := <-events:
-			if !ok {
-				return
-			}
-			counts[e.Kind]++
 		case <-second.C:
-			fmt.Printf("%-8s %8d %9d %8d %8d\n",
-				time.Since(start).Round(time.Second),
-				counts[cup.EvQueryIssued], counts[cup.EvQueryAnswered],
-				counts[cup.EvUpdatePushed], counts[cup.EvCutoffFired])
-			counts = make(map[cup.EventKind]int)
 		case <-ctx.Done():
-			fmt.Printf("\ndone; %d events dropped by the subscriber buffer\n", d.EventsDropped())
-			return
+			done = true
 		}
+		cur := make([]float64, len(watched))
+		for i, k := range watched {
+			cur[i] = eventTotal(k)
+		}
+		fmt.Printf("%-8s %8.0f %9.0f %8.0f %8.0f\n",
+			time.Since(start).Round(time.Second),
+			cur[0]-prev[0], cur[1]-prev[1], cur[2]-prev[2], cur[3]-prev[3])
+		prev = cur
+	}
+
+	// The registry also carries what per-event tailing cannot: the
+	// answer-latency distribution and the reconstructed span trees.
+	for _, m := range d.Metrics() {
+		if m.Name == "cup_query_latency_seconds" {
+			fmt.Printf("\nanswer latency: %d samples, mean %.4fs\n",
+				m.Count, m.Sum/float64(m.Count))
+		}
+	}
+	if tr, ok := d.Trace("alpha"); ok {
+		fmt.Printf("propagation tree for %q: %d spans, %d cut-offs, root %v\n",
+			tr.Key, len(tr.Spans), tr.Cutoffs, tr.Root)
+	}
+	if v, ok := d.MetricValue("cup_bus_dropped_events"); ok {
+		fmt.Printf("events dropped by subscriber buffers: %.0f\n", v)
 	}
 }

@@ -11,8 +11,15 @@ import (
 // discrete-event simulator (Params.WithDefaults) and the live goroutine
 // runtime (live.Config) consume this table, so the two runtimes cannot
 // drift apart in their defaulting.
+//
+// At runtime the effect of each parameter is observable through the
+// telemetry registry (internal/obs, attached via cup.WithTelemetry);
+// the comments below name the metric series that report each one.
 const (
 	// DefaultNodes is the paper's headline overlay size (n = 2^10).
+	// Reported as the cup_nodes gauge; the tree depths it implies show
+	// up in the cup_update_push_depth histogram (≈√n/2 hops on a 2-D
+	// CAN).
 	DefaultNodes = 1024
 	// DefaultOverlayKind is the paper's substrate, a 2-D CAN.
 	DefaultOverlayKind = "can"
@@ -21,17 +28,28 @@ const (
 	// DefaultReplicas is the number of replicas per key.
 	DefaultReplicas = 1
 	// DefaultLifetime is the replica lifetime: "the lifetime of replicas"
-	// is 300 s throughout the paper's evaluation.
+	// is 300 s throughout the paper's evaluation. Shorter lifetimes mean
+	// more refresh pushes — visible as cup_updates_pushed_total{type=
+	// "refresh"} — and, where interest has lapsed, more cut-offs
+	// (cup_cutoffs_total).
 	DefaultLifetime sim.Duration = 300
-	// DefaultHopDelay is the simulator's per-hop network latency.
+	// DefaultHopDelay is the simulator's per-hop network latency. It is
+	// the unit of the cup_query_latency_seconds histogram: a miss that
+	// travels h hops to an answer observes ≈ 2·h·DefaultHopDelay.
 	DefaultHopDelay sim.Duration = 0.1
 	// DefaultQueryRate is the network-wide Poisson query rate λ (q/s).
+	// Drives cup_events_total{kind="query-issued"}; when λ outpaces the
+	// answer latency, the herd effect appears as
+	// cup_queries_coalesced_total{source="local"} (§2.4's pending-first
+	// update coalescing).
 	DefaultQueryRate float64 = 1
 	// DefaultQueryDuration is the paper's query window ("3000 seconds of
 	// querying").
 	DefaultQueryDuration sim.Duration = 3000
 	// DefaultPiggybackWindow is how long a clear-bit waits for a carrier
-	// before traveling standalone (§2.7).
+	// before traveling standalone (§2.7). Each fired cut-off increments
+	// cup_cutoffs_total and cup_events_total{kind="cutoff-fired"};
+	// cup.Trace marks the firing node's span outcome "cut-off".
 	DefaultPiggybackWindow sim.Duration = 1
 	// DefaultSeed drives all randomness when the caller leaves it unset.
 	DefaultSeed int64 = 1
@@ -41,7 +59,9 @@ const (
 	// runs model a 100 ms WAN hop in virtual time, while the goroutine
 	// runtime keeps demos and tests interactive.
 	DefaultLiveHopDelay = time.Millisecond
-	// DefaultInboxDepth bounds each live peer's mailbox.
+	// DefaultInboxDepth bounds each live peer's mailbox. Live occupancy
+	// against this bound is scraped as cup_live_inbox_used /
+	// cup_live_inbox_capacity.
 	DefaultInboxDepth = 1024
 )
 

@@ -37,6 +37,12 @@ const (
 	EvNodeJoined
 	// EvNodeLeft fires when a node departs the overlay (§2.9 departures).
 	EvNodeLeft
+	// EvQueryCoalesced fires when a query is absorbed by an already-pending
+	// Pending-First-Update flag (§2.4) instead of being forwarded. Peer is
+	// the querier: LocalClient for a local client query, the neighbor
+	// otherwise. Appended after the original kinds to keep persisted
+	// tallies stable.
+	EvQueryCoalesced
 )
 
 // String implements fmt.Stringer.
@@ -54,6 +60,8 @@ func (k EventKind) String() string {
 		return "node-joined"
 	case EvNodeLeft:
 		return "node-left"
+	case EvQueryCoalesced:
+		return "query-coalesced"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -62,7 +70,7 @@ func (k EventKind) String() string {
 // EventKinds lists every kind in declaration order (for tallies).
 var EventKinds = []EventKind{
 	EvQueryIssued, EvQueryAnswered, EvUpdatePushed, EvCutoffFired,
-	EvNodeJoined, EvNodeLeft,
+	EvNodeJoined, EvNodeLeft, EvQueryCoalesced,
 }
 
 // Event is one observation from a running deployment. Time is virtual
@@ -84,6 +92,12 @@ type Event struct {
 	Depth int
 	// Entries is the answer payload size for EvQueryAnswered.
 	Entries int
+	// Latency is the elapsed time since the answered query was first
+	// issued at this node, for EvQueryAnswered: zero for cache hits
+	// (answered inline), positive when the answer had to travel the
+	// overlay. Virtual seconds on the simulator, wall-clock seconds on
+	// the live transport.
+	Latency sim.Duration
 }
 
 // Observer receives protocol events. Implementations attached to a live

@@ -48,6 +48,12 @@ type keyState struct {
 	// proactive update applied here, for §3.1 justified-update accounting.
 	justifyPending  bool
 	justifyDeadline sim.Time
+	// issuedAt records when the oldest still-waiting local client query
+	// was posted, so EvQueryAnswered can carry the answer latency. Under
+	// standard caching (per-query connections, no coalescing) it tracks
+	// the most recent local issue — an approximation when several local
+	// queries for one key overlap.
+	issuedAt sim.Time
 }
 
 // NodeStats surfaces protocol-level observations the transport layer
@@ -306,18 +312,28 @@ func (n *Node) HandleQuery(from overlay.NodeID, k overlay.Key, qid uint64) []Act
 		if ks.routeBack == nil {
 			ks.routeBack = make(map[uint64]overlay.NodeID)
 		}
+		if from == LocalClient {
+			ks.issuedAt = now
+		}
 		ks.routeBack[qid] = from
 		return []Action{{Kind: ActSendQuery, To: next, Key: k, QueryID: qid}}
 	}
 
 	// Cases 2 and 3 (CUP): no fresh answer; register the asker, coalesce.
 	if from == LocalClient {
+		if ks.pendingLocal == 0 {
+			ks.issuedAt = now
+		}
 		ks.pendingLocal++
 	} else {
 		ks.pendingChildren[from] = struct{}{}
 	}
 	if ks.pfu {
-		return nil // coalesced into the in-flight query
+		// Coalesced into the in-flight query. Peer carries the querier so
+		// observers can split local coalescing (which mirrors the driver's
+		// Coalesced counter) from neighbor coalescing.
+		n.emit(Event{Kind: EvQueryCoalesced, Peer: from, Key: k})
+		return nil
 	}
 	ks.pfu = true
 	return []Action{{Kind: ActSendQuery, To: next, Key: k}}
@@ -362,7 +378,8 @@ func (n *Node) handleDirectResponse(u Update) []Action {
 		if fresh != nil {
 			n.apply(ks, Update{Key: u.Key, Type: FirstTime, Entries: fresh})
 		}
-		n.emit(Event{Kind: EvQueryAnswered, Peer: LocalClient, Key: u.Key, Entries: len(fresh)})
+		n.emit(Event{Kind: EvQueryAnswered, Peer: LocalClient, Key: u.Key,
+			Entries: len(fresh), Latency: n.now().Sub(ks.issuedAt)})
 		return []Action{{Kind: ActDeliverLocal, Key: u.Key, Entries: fresh}}
 	}
 	fwd := u
@@ -488,7 +505,8 @@ func (n *Node) respondPending(ks *keyState, u Update, entries []cache.Entry) []A
 	ks.pfu = false
 	var acts []Action
 	if ks.pendingLocal > 0 {
-		n.emit(Event{Kind: EvQueryAnswered, Peer: LocalClient, Key: u.Key, Entries: len(entries)})
+		n.emit(Event{Kind: EvQueryAnswered, Peer: LocalClient, Key: u.Key,
+			Entries: len(entries), Latency: n.now().Sub(ks.issuedAt)})
 		acts = append(acts, Action{Kind: ActDeliverLocal, Key: u.Key, Entries: entries})
 		ks.pendingLocal = 0
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cup"
+	"cup/internal/obs"
 )
 
 // The adaptive parallel sweep engine: every figure/table of the
@@ -57,6 +58,9 @@ type Engine struct {
 	// so cupbench reports it alongside throughput.
 	statMu  sync.Mutex
 	trialNs []time.Duration
+	// trialHist, when Instrument installed one, additionally records each
+	// trial's wall time into the telemetry registry.
+	trialHist *obs.Histogram
 }
 
 // NewEngine returns an engine running at most workers trials
@@ -158,9 +162,14 @@ func (e *Engine) worker() {
 func (e *Engine) runOne(pt *pendingTrial) {
 	start := time.Now()
 	defer func() {
+		elapsed := time.Since(start)
 		e.statMu.Lock()
-		e.trialNs = append(e.trialNs, time.Since(start))
+		e.trialNs = append(e.trialNs, elapsed)
+		hist := e.trialHist
 		e.statMu.Unlock()
+		if hist != nil {
+			hist.Observe(elapsed.Seconds())
+		}
 		close(pt.fut.done)
 	}()
 	defer func() { pt.fut.failure = recover() }()
@@ -209,6 +218,37 @@ func (e *Engine) TailTime() time.Duration {
 		}
 	}
 	return max
+}
+
+// QueueDepth returns the number of trials waiting for a worker.
+func (e *Engine) QueueDepth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pending.Len()
+}
+
+// Running returns the number of workers currently executing trials.
+func (e *Engine) Running() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.running
+}
+
+// Instrument registers the engine's telemetry on reg: queue depth and
+// running-worker gauges read live at scrape time, plus a histogram of
+// per-trial wall seconds observed as trials finish.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	reg.GaugeFunc("cup_experiment_queue_depth",
+		"Sweep trials waiting for a worker.",
+		func() float64 { return float64(e.QueueDepth()) })
+	reg.GaugeFunc("cup_experiment_running",
+		"Sweep trials currently executing.",
+		func() float64 { return float64(e.Running()) })
+	hist := reg.Histogram("cup_experiment_trial_seconds",
+		"Wall time of finished sweep trials.", obs.DefBuckets)
+	e.statMu.Lock()
+	e.trialHist = hist
+	e.statMu.Unlock()
 }
 
 // submit is the generators' shorthand for an unlabeled trial.

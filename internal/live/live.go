@@ -194,6 +194,17 @@ func (n *Network) Stats() Stats {
 	}
 }
 
+// InboxLoad sums current occupancy and capacity across every peer's
+// inbox — a point-in-time congestion gauge for telemetry. Channel
+// lengths are sampled racily, which is fine for a gauge.
+func (n *Network) InboxLoad() (used, capacity int) {
+	for _, p := range n.nodes {
+		used += len(p.inbox)
+		capacity += cap(p.inbox)
+	}
+	return used, capacity
+}
+
 // Close shuts down all peers and waits for their goroutines.
 func (n *Network) Close() {
 	n.once.Do(func() { close(n.closed) })

@@ -28,6 +28,48 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileEdgeCases pins the nearest-rank semantics at the
+// boundaries the latency histograms build on: empty input, the extreme
+// quantiles (and beyond), single samples, and unsorted input.
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := Percentile([]time.Duration{}, 0.5); got != 0 {
+		t.Errorf("empty sample set: got %d, want 0", got)
+	}
+	if got := Percentile(nil, 1); got != 0 {
+		t.Errorf("nil sample set: got %d, want 0", got)
+	}
+
+	samples := []time.Duration{40, 10, 30, 20} // unsorted on purpose
+	if got := Percentile(samples, 0); got != 10 {
+		t.Errorf("q=0: got %d, want the minimum 10", got)
+	}
+	if got := Percentile(samples, 1); got != 40 {
+		t.Errorf("q=1: got %d, want the maximum 40", got)
+	}
+	// Out-of-range quantiles clamp to the extremes.
+	if got := Percentile(samples, -0.5); got != 10 {
+		t.Errorf("q<0: got %d, want 10", got)
+	}
+	if got := Percentile(samples, 1.5); got != 40 {
+		t.Errorf("q>1: got %d, want 40", got)
+	}
+	// Nearest rank on unsorted input: ceil(0.5·4) = rank 2 → 20.
+	if got := Percentile(samples, 0.5); got != 20 {
+		t.Errorf("median of unsorted input: got %d, want 20", got)
+	}
+	if samples[0] != 40 || samples[1] != 10 || samples[2] != 30 || samples[3] != 20 {
+		t.Errorf("Percentile mutated its input: %v", samples)
+	}
+
+	// A single sample is every quantile.
+	one := []time.Duration{7}
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := Percentile(one, q); got != 7 {
+			t.Errorf("single sample at q=%g: got %d, want 7", q, got)
+		}
+	}
+}
+
 func TestCountersIdentities(t *testing.T) {
 	c := Counters{
 		Queries: 100, Hits: 60,

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"cup/internal/overlay"
+)
+
+// Server exposes a registry and tracer over HTTP:
+//
+//	/metrics        Prometheus text exposition
+//	/trace          JSON list of traced keys
+//	/trace/{key}    JSON span tree for one key
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// It binds eagerly (so ":0" callers can read the resolved Addr) and
+// serves on a background goroutine until Close.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer starts serving reg and tracer (either may be nil, disabling
+// its endpoints) on addr. addr ":0" picks a free port.
+func NewServer(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+		})
+	}
+	if tracer != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{"keys": tracer.Keys()})
+		})
+		mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+			key := strings.TrimPrefix(r.URL.Path, "/trace/")
+			tr, ok := tracer.Trace(overlay.Key(key))
+			if !ok {
+				http.Error(w, fmt.Sprintf("no trace for key %q", key), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(tr)
+		})
+	}
+	// The default pprof handlers hang off http.DefaultServeMux; register
+	// them explicitly so telemetry stays off the global mux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43117".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases its port.
+func (s *Server) Close() error { return s.srv.Close() }

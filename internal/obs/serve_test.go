@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	cupcore "cup/internal/cup"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("cup_test_total", "A test counter.").Add(42)
+	tracer := scriptedTracer()
+	srv, err := NewServer("127.0.0.1:0", reg, tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "cup_test_total 42") {
+		t.Errorf("/metrics: code %d body %q", code, body)
+	}
+
+	code, body = get(t, base+"/trace")
+	if code != http.StatusOK || !strings.Contains(body, `"k"`) {
+		t.Errorf("/trace: code %d body %q", code, body)
+	}
+
+	code, body = get(t, base+"/trace/k")
+	if code != http.StatusOK {
+		t.Fatalf("/trace/k: code %d body %q", code, body)
+	}
+	var tr Trace
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatalf("/trace/k not JSON: %v\n%s", err, body)
+	}
+	if tr.Key != "k" || len(tr.Spans) != 4 || tr.Cutoffs != 1 {
+		t.Errorf("/trace/k decoded to %+v", tr)
+	}
+
+	code, _ = get(t, base+"/trace/absent")
+	if code != http.StatusNotFound {
+		t.Errorf("/trace/absent: code %d, want 404", code)
+	}
+
+	// pprof index answers; the profile endpoint itself is exercised by
+	// the façade telemetry test to keep this one fast.
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code %d", code)
+	}
+}
+
+func TestServerLiveUpdatesVisible(t *testing.T) {
+	reg := NewRegistry()
+	col := NewCollector(reg)
+	srv, err := NewServer("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	col.OnEvent(cupcore.Event{Kind: cupcore.EvCutoffFired, Node: 1, Peer: 0, Key: "k"})
+	_, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if !strings.Contains(body, "cup_cutoffs_total 1") {
+		t.Errorf("scrape missing collector update:\n%s", body)
+	}
+}

@@ -1,0 +1,57 @@
+// External-package benchmark: internal/obs sits above internal/cup,
+// which imports internal/sim, so a package-sim test cannot import it —
+// but the invariant it pins lives here, next to BenchmarkScheduler.
+package sim_test
+
+import (
+	"testing"
+
+	"cup/internal/obs"
+	"cup/internal/sim"
+)
+
+// BenchmarkSchedulerWithCollector reruns the scheduler hot path with a
+// telemetry recording per fired event — a counter increment and a
+// histogram observation, the exact work the bus collector does per
+// event. Allocations per event must stay 0: attaching telemetry cannot
+// break the scheduler's zero-allocation invariant.
+func BenchmarkSchedulerWithCollector(b *testing.B) {
+	s := sim.NewScheduler()
+	reg := obs.NewRegistry()
+	events := reg.Counter("cup_events_total", "bench",
+		obs.Label{Key: "kind", Value: "timer-fired"})
+	lat := reg.Histogram("cup_query_latency_seconds", "bench", obs.DefBuckets)
+	fn := func() {
+		events.Inc()
+		lat.Observe(0.1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(1, fn)
+		decoy := s.After(2, fn)
+		s.Cancel(decoy)
+		s.Step()
+	}
+}
+
+// The same invariant as a plain test, so `go test` (not just -bench)
+// guards it in CI.
+func TestSchedulerWithCollectorZeroAlloc(t *testing.T) {
+	s := sim.NewScheduler()
+	reg := obs.NewRegistry()
+	events := reg.Counter("cup_events_total", "bench")
+	lat := reg.Histogram("cup_query_latency_seconds", "bench", obs.DefBuckets)
+	fn := func() {
+		events.Inc()
+		lat.Observe(0.1)
+	}
+	if n := testing.AllocsPerRun(2000, func() {
+		s.After(1, fn)
+		decoy := s.After(2, fn)
+		s.Cancel(decoy)
+		s.Step()
+	}); n != 0 {
+		t.Errorf("scheduler+collector hot path allocates %g/op, want 0", n)
+	}
+}

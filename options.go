@@ -54,6 +54,11 @@ type options struct {
 	// per-trial seeds; parallelism caps the worker pool executing them.
 	trials      int
 	parallelism int
+	// telemetry enables the internal/obs registry + collector + tracer;
+	// a non-empty telemetryAddr additionally serves /metrics, /trace,
+	// and /debug/pprof there.
+	telemetry     bool
+	telemetryAddr string
 	// errs collects option-level validation failures; New reports them
 	// all at once instead of building a broken deployment.
 	errs []error
