@@ -1,0 +1,205 @@
+// Package analysistest runs a cuplint analyzer over golden fixture
+// packages and asserts its diagnostics against // want comments, the
+// same contract as golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdir>/testdata/src/<importpath>/, mirroring
+// the GOPATH layout upstream analysistest uses: a fixture that must
+// typecheck against (a fake) cup/internal/cup places that fake at
+// testdata/src/cup/internal/cup. Imports resolve testdata-first, then
+// fall back to the standard library, compiled from $GOROOT/src so the
+// harness works offline.
+//
+// Expectations are trailing comments on the line a diagnostic lands:
+//
+//	time.Now() // want `forbids wall-clock reads`
+//
+// The backquoted (or double-quoted) pattern is an anchored-nowhere
+// regexp matched against the diagnostic message; multiple want
+// patterns on one line expect multiple diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"cup/internal/analysis"
+)
+
+// Run loads the fixture package at testdata/src/<path> (relative to
+// dir, typically the analyzer's package directory) and checks
+// analyzer's diagnostics against its // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	root := filepath.Join(dir, "testdata", "src")
+	ld := &loader{
+		root: root,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*loaded),
+	}
+	lp, err := ld.load(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       ld.fset,
+		Files:      lp.files,
+		Pkg:        lp.types,
+		TypesInfo:  lp.info,
+		Directives: analysis.ParseDirectives(ld.fset, lp.files),
+		Report:     func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	check(t, ld.fset, lp.files, got)
+}
+
+// wantRe extracts the patterns of a // want comment.
+var wantRe = regexp.MustCompile("// want (.*)$")
+
+// patRe matches one backquoted or double-quoted pattern.
+var patRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+// check matches diagnostics against the fixtures' want comments,
+// failing on both unexpected diagnostics and unmatched expectations.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, got []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pm := range patRe.FindAllStringSubmatch(m[1], -1) {
+					text := pm[1]
+					if text == "" {
+						text = pm[2]
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, text, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, text: text})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.text)
+		}
+	}
+}
+
+// loaded is one typechecked fixture (or fixture-dependency) package.
+type loaded struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// loader typechecks fixture packages, resolving imports testdata-first
+// with a standard-library fallback.
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*loaded
+	std  types.Importer
+}
+
+func (ld *loader) load(path string) (*loaded, error) {
+	if lp, ok := ld.pkgs[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: ld, Error: func(error) {}}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %s: %v", path, err)
+	}
+	lp := &loaded{files: files, types: tpkg, info: info}
+	ld.pkgs[path] = lp
+	return lp, nil
+}
+
+// Import implements types.Importer for fixture typechecking.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path))); err == nil {
+		lp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.types, nil
+	}
+	if ld.std == nil {
+		// The source importer compiles the standard library from
+		// $GOROOT/src, so fixtures typecheck without any pre-built
+		// export data.
+		ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	}
+	return ld.std.Import(path)
+}

@@ -1,0 +1,173 @@
+// Package ctxdiscipline pins the live transport's cancellation
+// contract (PR 2): every blocking channel operation on the
+// inbox/waiter paths must sit in a select that can be released by
+// cancellation, so a saturated peer mailbox or an abandoned lookup can
+// never wedge a goroutine past its context.
+//
+// Scope: cup/internal/live, plus any file carrying //cup:ctxdiscipline.
+// Test files are exempt.
+//
+// Rules:
+//
+//   - a channel send, receive, or range outside a select is flagged
+//     unless the line carries //cup:allowblocking (the escape hatch
+//     for provably non-blocking operations, e.g. a buffered one-shot
+//     reply channel owned by the sender);
+//   - a select whose comm clauses can block (no default clause) must
+//     include at least one cancellation case: a receive from a
+//     context's Done() channel, or from a channel whose name is
+//     closed/done/stop/quit (the network-shutdown broadcast idiom).
+package ctxdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cup/internal/analysis"
+)
+
+// Analyzer is the ctxdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxdiscipline",
+	Doc: "require blocking channel operations in internal/live to sit in a select " +
+		"with a cancellation case (ctx.Done() or a closed/done broadcast channel)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	inPkg := pass.PkgPath() == "cup/internal/live"
+	for _, f := range pass.Files {
+		if !inPkg && !pass.Directives.FileScope(f, analysis.DirCtxDiscipline) {
+			continue
+		}
+		if pass.IsTestFile(f) || analysis.IsGenerated(f) {
+			continue
+		}
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	// Collect every channel operation that is the comm of a select
+	// case; those are judged per-select, everything else per-site.
+	inSelect := make(map[ast.Node]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cc := range sel.Body.List {
+			comm := cc.(*ast.CommClause).Comm
+			if comm == nil {
+				continue // default clause
+			}
+			inSelect[comm] = true
+			// The comm statement wraps the operation: mark the recv
+			// expression too (e.g. `case m := <-ch:`).
+			ast.Inspect(comm, func(cn ast.Node) bool {
+				if u, ok := cn.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					inSelect[u] = true
+				}
+				if s, ok := cn.(*ast.SendStmt); ok {
+					inSelect[s] = true
+				}
+				return true
+			})
+		}
+		checkSelect(pass, sel)
+		return true
+	})
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !inSelect[n] && !pass.Directives.At(n.Pos(), analysis.DirAllowBlocking) {
+				pass.Reportf(n.Pos(),
+					"blocking channel send outside select; wrap in a select with ctx.Done()/closed (or //cup:allowblocking with proof it cannot block)")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inSelect[n] && !pass.Directives.At(n.Pos(), analysis.DirAllowBlocking) {
+				pass.Reportf(n.Pos(),
+					"blocking channel receive outside select; wrap in a select with ctx.Done()/closed (or //cup:allowblocking with proof it cannot block)")
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					if !pass.Directives.At(n.Pos(), analysis.DirAllowBlocking) {
+						pass.Reportf(n.Pos(),
+							"range over channel blocks until the sender closes it; use a select loop with ctx.Done()/closed (or //cup:allowblocking)")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkSelect requires a cancellation case in every blocking select.
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	hasDefault := false
+	hasCancel := false
+	hasComm := false
+	for _, cc := range sel.Body.List {
+		clause := cc.(*ast.CommClause)
+		if clause.Comm == nil {
+			hasDefault = true
+			continue
+		}
+		hasComm = true
+		if recvFromCancel(pass, clause.Comm) {
+			hasCancel = true
+		}
+	}
+	if hasDefault || !hasComm || hasCancel {
+		return
+	}
+	if pass.Directives.At(sel.Pos(), analysis.DirAllowBlocking) {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"select can block with no cancellation case; add ctx.Done() or the network's closed channel (or //cup:allowblocking with proof it cannot block)")
+}
+
+// recvFromCancel reports whether a comm statement receives from a
+// cancellation channel: ctx.Done(), or a channel named closed / done /
+// stop / quit.
+func recvFromCancel(pass *analysis.Pass, comm ast.Stmt) bool {
+	var recv *ast.UnaryExpr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		recv, _ = ast.Unparen(s.X).(*ast.UnaryExpr)
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			recv, _ = ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr)
+		}
+	}
+	if recv == nil || recv.Op != token.ARROW {
+		return false
+	}
+	switch x := ast.Unparen(recv.X).(type) {
+	case *ast.CallExpr:
+		// ctx.Done() — a method named Done on context.Context (or any
+		// type embedding it).
+		if s, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && s.Sel.Name == "Done" {
+			return true
+		}
+	case *ast.Ident:
+		return cancelName(x.Name)
+	case *ast.SelectorExpr:
+		return cancelName(x.Sel.Name)
+	}
+	return false
+}
+
+func cancelName(name string) bool {
+	switch strings.ToLower(name) {
+	case "closed", "done", "stop", "quit", "stopped", "shutdown":
+		return true
+	}
+	return false
+}

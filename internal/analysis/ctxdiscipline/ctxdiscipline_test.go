@@ -1,0 +1,12 @@
+package ctxdiscipline_test
+
+import (
+	"testing"
+
+	"cup/internal/analysis/analysistest"
+	"cup/internal/analysis/ctxdiscipline"
+)
+
+func TestCtxDiscipline(t *testing.T) {
+	analysistest.Run(t, ".", ctxdiscipline.Analyzer, "ctxfix")
+}

@@ -1,0 +1,55 @@
+//cup:ctxdiscipline
+
+package ctxfix
+
+import "context"
+
+func bare(ch chan int) int {
+	ch <- 1     // want `blocking channel send outside select`
+	return <-ch // want `blocking channel receive outside select`
+}
+
+func ranged(ch chan int) int {
+	sum := 0
+	for v := range ch { // want `range over channel blocks until the sender closes it`
+		sum += v
+	}
+	return sum
+}
+
+func withCtx(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+func withClosed(ch chan int, closed chan struct{}) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-closed:
+		return 0
+	}
+}
+
+func nonBlocking(ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+func noCancel(a, b chan int) {
+	select { // want `select can block with no cancellation case`
+	case <-a:
+	case b <- 1:
+	}
+}
+
+func oneShot() int {
+	reply := make(chan int, 1)
+	// Cannot block: buffered(1) and this function owns the only send.
+	reply <- 42    //cup:allowblocking
+	return <-reply //cup:allowblocking
+}

@@ -1,0 +1,8 @@
+package ctxfix
+
+// No //cup:ctxdiscipline directive on this file and the fixture is not
+// cup/internal/live, so bare channel operations here are not checked.
+func unscoped(ch chan int) int {
+	ch <- 1
+	return <-ch
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"cup/internal/analysis/analysistest"
+	"cup/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, ".", determinism.Analyzer, "determfix")
+}

@@ -1,0 +1,13 @@
+//cup:deterministic
+
+package determfix
+
+import "time"
+
+func clocks() {
+	_ = time.Now()          // want `wall-clock call time.Now`
+	t := time.Now()         //cup:wallclock
+	_ = time.Since(t)       // want `wall-clock call time.Since`
+	time.Sleep(time.Second) // want `wall-clock call time.Sleep`
+	_ = time.Unix(0, 0)     // constructing times from constants is fine
+}

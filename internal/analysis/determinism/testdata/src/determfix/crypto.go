@@ -1,0 +1,7 @@
+//cup:deterministic
+
+package determfix
+
+import crand "crypto/rand" // want `crypto/rand imported in deterministic code`
+
+var _ = crand.Reader

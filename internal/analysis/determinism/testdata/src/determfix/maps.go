@@ -1,0 +1,59 @@
+//cup:deterministic
+
+package determfix
+
+import "sort"
+
+// collectThenSort is the repository idiom: append in map order, sort
+// before the order can be observed.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// commute only accumulates commutatively and writes per-key state.
+func commute(m map[string]int, out map[string]int) int {
+	sum := 0
+	for k, v := range m {
+		sum += v
+		out[k] = v * 2
+		delete(m, k)
+	}
+	return sum
+}
+
+// leak appends in map order and never sorts: iteration order escapes.
+func leak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order can leak into results`
+		out = append(out, k)
+	}
+	return out
+}
+
+// sideEffects runs an arbitrary callback in map order.
+func sideEffects(m map[string]int, f func(string)) {
+	for k := range m { // want `map iteration order can leak into results`
+		f(k)
+	}
+}
+
+// earlyReturn picks whichever element the runtime visits first.
+func earlyReturn(m map[string]int) string {
+	for k := range m { // want `map iteration order can leak into results`
+		return k
+	}
+	return ""
+}
+
+// annotated documents why order does not matter.
+func annotated(m map[string]int, f func(string)) {
+	//cup:unordered f is a commutative accumulator in this fixture
+	for k := range m {
+		f(k)
+	}
+}

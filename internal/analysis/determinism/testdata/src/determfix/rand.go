@@ -1,0 +1,17 @@
+//cup:deterministic
+
+package determfix
+
+import "math/rand"
+
+func globals() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `global rand.Shuffle draws from the process-wide source`
+	return rand.Intn(10)               // want `global rand.Intn draws from the process-wide source`
+}
+
+func seeded(seed int64) *rand.Rand {
+	ok := rand.New(rand.NewSource(seed)) // inline source: provenance visible
+	_ = ok
+	src := rand.NewSource(seed)
+	return rand.New(src) // want `rand.New without an inline rand.NewSource`
+}

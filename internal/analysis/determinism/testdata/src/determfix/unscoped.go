@@ -1,0 +1,10 @@
+package determfix
+
+import "time"
+
+// No //cup:deterministic directive on this file and the fixture's
+// import path is outside the default package set, so nothing here is
+// checked.
+func unscoped() time.Time {
+	return time.Now()
+}

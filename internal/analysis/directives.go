@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //cup: directive grammar. A directive is a line comment of the
+// form
+//
+//	//cup:name optional justification text
+//
+// with no space between // and cup:. Where a directive applies depends
+// on where it sits:
+//
+//   - before the package clause: file scope (e.g. //cup:deterministic
+//     opts a file outside the default package set into the determinism
+//     pass);
+//   - in a function's doc comment: function scope (//cup:hotpath);
+//   - on a statement's line, or alone on the line directly above it:
+//     statement scope (//cup:allowalloc, //cup:unordered,
+//     //cup:wallclock, //cup:allowblocking, //cup:eventexhaustive).
+//
+// Suppression directives are deliberately line-grained: each one
+// answers for exactly the construct beside it, so a new violation two
+// lines down still fails the build.
+const (
+	// DirHotpath marks a function whose body the hotpath pass checks
+	// for allocating constructs.
+	DirHotpath = "hotpath"
+	// DirDeterministic opts a file into the determinism pass.
+	DirDeterministic = "deterministic"
+	// DirEventExhaustive marks a switch that must name every constant
+	// of its tag's enum type.
+	DirEventExhaustive = "eventexhaustive"
+	// DirAllowAlloc suppresses one hotpath finding: the allocation is
+	// intentional (cold branch, amortized pool growth).
+	DirAllowAlloc = "allowalloc"
+	// DirUnordered suppresses one determinism map-iteration finding:
+	// the loop body is order-insensitive in a way the classifier
+	// cannot prove.
+	DirUnordered = "unordered"
+	// DirWallclock suppresses one determinism wall-clock finding: the
+	// reading is measurement-only and never feeds simulated state.
+	DirWallclock = "wallclock"
+	// DirAllowBlocking suppresses one ctxdiscipline finding: the
+	// channel operation provably cannot block (e.g. a buffered
+	// one-shot reply).
+	DirAllowBlocking = "allowblocking"
+	// DirCtxDiscipline opts a file outside internal/live into the
+	// ctxdiscipline pass.
+	DirCtxDiscipline = "ctxdiscipline"
+)
+
+// Directives indexes every //cup: comment of a package by file and
+// line.
+type Directives struct {
+	fset *token.FileSet
+	// file maps each file to its file-scope directive names.
+	file map[*ast.File]map[string]bool
+	// line maps filename -> line -> directive names on that line.
+	line map[string]map[int][]string
+	// only maps filename -> lines whose only content is directives,
+	// so a directive-only line can cover the line below it.
+	only map[string]map[int]bool
+}
+
+// parseDirective returns the name of a //cup: directive comment, or "".
+func parseDirective(text string) string {
+	const prefix = "//cup:"
+	if !strings.HasPrefix(text, prefix) {
+		return ""
+	}
+	rest := text[len(prefix):]
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// ParseDirectives indexes the //cup: comments of files.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{
+		fset: fset,
+		file: make(map[*ast.File]map[string]bool),
+		line: make(map[string]map[int][]string),
+		only: make(map[string]map[int]bool),
+	}
+	for _, f := range files {
+		pkgLine := fset.Position(f.Package).Line
+		fileDirs := make(map[string]bool)
+		d.file[f] = fileDirs
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name := parseDirective(c.Text)
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if pos.Line < pkgLine {
+					fileDirs[name] = true
+					continue
+				}
+				lm := d.line[pos.Filename]
+				if lm == nil {
+					lm = make(map[int][]string)
+					d.line[pos.Filename] = lm
+				}
+				lm[pos.Line] = append(lm[pos.Line], name)
+				// A comment starting at column 1..inf with nothing
+				// before it on the line is "directive-only" when the
+				// comment is the whole line: detect by comparing the
+				// comment start column against the first non-blank
+				// content — the parser gives us only the comment, so
+				// treat a comment that begins the line's content
+				// (column == indentation) as standalone. We cannot see
+				// raw source here; standalone-ness is approximated as
+				// "no AST node starts on this line", checked lazily in
+				// coversLine.
+				om := d.only[pos.Filename]
+				if om == nil {
+					om = make(map[int]bool)
+					d.only[pos.Filename] = om
+				}
+				om[pos.Line] = true
+			}
+		}
+		// A line that holds a directive comment AND code is not
+		// directive-only: un-mark lines on which any non-comment node
+		// begins or ends.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || n == f {
+				return true
+			}
+			if _, ok := n.(*ast.Comment); ok {
+				return true
+			}
+			if _, ok := n.(*ast.CommentGroup); ok {
+				return true
+			}
+			pos := fset.Position(n.Pos())
+			if om := d.only[pos.Filename]; om != nil {
+				delete(om, pos.Line)
+			}
+			return true
+		})
+	}
+	return d
+}
+
+// FileScope reports whether f carries the file-scope directive name.
+func (d *Directives) FileScope(f *ast.File, name string) bool {
+	return d.file[f][name]
+}
+
+// FuncScope reports whether fn's doc comment carries directive name.
+func (d *Directives) FuncScope(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if parseDirective(c.Text) == name {
+				return true
+			}
+		}
+	}
+	// gofmt keeps a blank-line-separated directive out of the doc
+	// group; accept a directive on the line directly above the doc
+	// comment or declaration as well.
+	return d.coversLine(d.fset.Position(fn.Pos()), name)
+}
+
+// At reports whether directive name covers the node position pos:
+// either a directive on pos's own line, or a directive-only line
+// directly above it.
+func (d *Directives) At(pos token.Pos, name string) bool {
+	return d.coversLine(d.fset.Position(pos), name)
+}
+
+func (d *Directives) coversLine(pos token.Position, name string) bool {
+	lm := d.line[pos.Filename]
+	if lm == nil {
+		return false
+	}
+	for _, n := range lm[pos.Line] {
+		if n == name {
+			return true
+		}
+	}
+	if d.only[pos.Filename][pos.Line-1] {
+		for _, n := range lm[pos.Line-1] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,71 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"cup/internal/analysis"
+)
+
+const directiveSrc = `//cup:deterministic
+
+package fixture
+
+//cup:hotpath
+func annotated() {
+	x := 1 //cup:allowalloc
+	//cup:unordered
+	y := 2
+	_, _ = x, y
+}
+
+// doc comment without a directive
+func plain() {}
+`
+
+func TestDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := analysis.ParseDirectives(fset, []*ast.File{f})
+
+	if !d.FileScope(f, analysis.DirDeterministic) {
+		t.Error("file-scope //cup:deterministic not detected")
+	}
+	if d.FileScope(f, analysis.DirHotpath) {
+		t.Error("function-scope directive leaked to file scope")
+	}
+
+	var annotated, plain *ast.FuncDecl
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok {
+			switch fn.Name.Name {
+			case "annotated":
+				annotated = fn
+			case "plain":
+				plain = fn
+			}
+		}
+	}
+	if !d.FuncScope(annotated, analysis.DirHotpath) {
+		t.Error("//cup:hotpath doc directive not detected")
+	}
+	if d.FuncScope(plain, analysis.DirHotpath) {
+		t.Error("plain function misread as hotpath")
+	}
+
+	stmts := annotated.Body.List
+	if !d.At(stmts[0].Pos(), analysis.DirAllowAlloc) {
+		t.Error("trailing same-line //cup:allowalloc not detected")
+	}
+	if !d.At(stmts[1].Pos(), analysis.DirUnordered) {
+		t.Error("directive-only line above statement not detected")
+	}
+	if d.At(stmts[2].Pos(), analysis.DirAllowAlloc) {
+		t.Error("directive bled onto an unannotated line")
+	}
+}

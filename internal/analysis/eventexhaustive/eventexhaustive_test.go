@@ -1,0 +1,16 @@
+package eventexhaustive_test
+
+import (
+	"testing"
+
+	"cup/internal/analysis/analysistest"
+	"cup/internal/analysis/eventexhaustive"
+)
+
+func TestSwitches(t *testing.T) {
+	analysistest.Run(t, ".", eventexhaustive.Analyzer, "eventfix")
+}
+
+func TestCatalog(t *testing.T) {
+	analysistest.Run(t, ".", eventexhaustive.Analyzer, "cup/internal/cup")
+}

@@ -1,0 +1,13 @@
+// Package cup is a fixture impersonating cup/internal/cup to exercise
+// the EventKinds catalog check, which is keyed to that import path.
+package cup
+
+type EventKind int
+
+const (
+	EvA EventKind = iota
+	EvB
+	EvC
+)
+
+var EventKinds = []EventKind{EvA, EvB} // want `EventKinds catalog is missing EvC`

@@ -1,0 +1,43 @@
+package eventfix
+
+type Kind int
+
+const (
+	KA Kind = iota
+	KB
+	KC
+)
+
+func full(k Kind) int {
+	//cup:eventexhaustive
+	switch k {
+	case KA:
+		return 1
+	case KB, KC:
+		return 2
+	}
+	return 0
+}
+
+func missing(k Kind) {
+	//cup:eventexhaustive
+	switch k { // want `switch is not exhaustive over eventfix.Kind: missing KC`
+	case KA, KB:
+	default:
+		// A default clause does not count as covering KC.
+	}
+}
+
+// unannotated switches may be as partial as they like.
+func unannotated(k Kind) {
+	switch k {
+	case KA:
+	}
+}
+
+func untagged() {
+	//cup:eventexhaustive
+	switch { // want `//cup:eventexhaustive switch has no tag expression`
+	default:
+	}
+}

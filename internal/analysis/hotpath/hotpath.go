@@ -1,0 +1,366 @@
+// Package hotpath mechanically enforces the 0 allocs/event contract:
+// any function annotated //cup:hotpath (the scheduler's fire/cancel
+// path, the metrics registry's record handles, the collector fold, the
+// tracer's span-append path) is checked for constructs that allocate.
+//
+// Flagged constructs:
+//
+//   - closures that capture variables (each call materializes the
+//     closure on the heap);
+//   - calls into fmt (formatting always allocates);
+//   - append, make, new, map and slice composite literals, &T{...},
+//     and map assignments — unless the line carries //cup:allowalloc,
+//     the escape hatch for intentional cold-branch or amortized pool
+//     growth;
+//   - non-constant string concatenation and string<->[]byte/[]rune
+//     conversions;
+//   - boxing: passing or converting a non-pointer-shaped value
+//     (struct, int, float, string, slice, ...) to an interface
+//     parameter or type. Pointer-shaped values (*T, chan, map, func)
+//     box for free and are not flagged;
+//   - method values used outside call position (they allocate a bound
+//     closure) and go statements.
+//
+// Arguments of panic(...) are exempt everywhere: a panicking hot path
+// is already off the measured path, and the repository convention is
+// panic(fmt.Sprintf(...)) for protocol-bug assertions.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cup/internal/analysis"
+)
+
+// Analyzer is the hotpath pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "check //cup:hotpath-annotated functions for allocating constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) || analysis.IsGenerated(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !pass.Directives.FuncScope(fn, analysis.DirHotpath) {
+				continue
+			}
+			w := &walker{pass: pass, fn: fn}
+			w.walk(fn.Body, false)
+		}
+	}
+	return nil
+}
+
+// walker traverses one annotated function body. inPanic marks subtrees
+// that are arguments of panic().
+type walker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+}
+
+// allowed reports whether the construct at pos carries //cup:allowalloc.
+func (w *walker) allowed(pos token.Pos) bool {
+	return w.pass.Directives.At(pos, analysis.DirAllowAlloc)
+}
+
+func (w *walker) reportf(pos token.Pos, format string, args ...any) {
+	if !w.allowed(pos) {
+		w.pass.Reportf(pos, format, args...)
+	}
+}
+
+func (w *walker) walk(n ast.Node, inPanic bool) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		w.call(n, inPanic)
+		return
+	case *ast.FuncLit:
+		w.funcLit(n)
+		// Still check the closure body: it runs on the hot path too.
+		w.walk(n.Body, inPanic)
+		return
+	case *ast.CompositeLit:
+		w.composite(n, inPanic, false)
+		return
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				w.composite(cl, inPanic, true)
+				return
+			}
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && !inPanic {
+			if t := w.pass.TypesInfo.TypeOf(n); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					if tv, ok := w.pass.TypesInfo.Types[n]; !ok || tv.Value == nil {
+						w.reportf(n.OpPos, "string concatenation allocates on the hot path")
+					}
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		if !inPanic {
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if t := w.pass.TypesInfo.TypeOf(ix.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							w.reportf(lhs.Pos(), "map assignment may grow the table and allocate on the hot path (//cup:allowalloc if intentional)")
+						}
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		w.reportf(n.Pos(), "go statement allocates a goroutine on the hot path")
+	case *ast.SelectorExpr:
+		w.methodValue(n, inPanic)
+	}
+	// Generic traversal.
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n {
+			return true
+		}
+		if child == nil {
+			return false
+		}
+		w.walk(child, inPanic)
+		return false
+	})
+}
+
+// call handles one call expression: panic exemption, fmt, builtins,
+// conversions, and interface-boxing arguments.
+func (w *walker) call(call *ast.CallExpr, inPanic bool) {
+	// panic(...) marks its arguments exempt.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if obj := w.pass.TypesInfo.Uses[id]; obj == nil || obj.Parent() == types.Universe {
+			for _, a := range call.Args {
+				w.walk(a, true)
+			}
+			return
+		}
+	}
+
+	// Builtins that allocate. Universe-scoped type names (any, error)
+	// are conversions, not builtins — they fall through to the
+	// conversion check below.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := w.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				if !inPanic {
+					w.reportf(call.Pos(), "append may grow and allocate on the hot path; pre-size the slice or annotate //cup:allowalloc for amortized pool growth")
+				}
+			case "make", "new":
+				if !inPanic {
+					w.reportf(call.Pos(), "%s allocates on the hot path (//cup:allowalloc if this is an intentional cold branch)", id.Name)
+				}
+			}
+			for _, a := range call.Args {
+				w.walk(a, inPanic)
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := w.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		w.conversion(call, tv.Type, inPanic)
+		for _, a := range call.Args {
+			w.walk(a, inPanic)
+		}
+		return
+	}
+
+	// fmt calls.
+	if obj := analysis.CalleeObject(w.pass.TypesInfo, call); obj != nil && obj.Pkg() != nil {
+		if obj.Pkg().Path() == "fmt" && !inPanic {
+			w.reportf(call.Pos(), "fmt.%s allocates (formatting, boxing); hot paths must not format", obj.Name())
+		}
+	}
+
+	// Interface-boxing arguments.
+	if !inPanic {
+		w.boxingArgs(call)
+	}
+
+	// Walk the callee, but skip the selector itself when the call is
+	// x.M(...): a method selector in call position is not a method
+	// value.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		w.walk(sel.X, inPanic)
+	} else {
+		w.walk(call.Fun, inPanic)
+	}
+	for _, a := range call.Args {
+		w.walk(a, inPanic)
+	}
+}
+
+// composite flags map/slice literals and &T{...}.
+func (w *walker) composite(cl *ast.CompositeLit, inPanic, addressed bool) {
+	if !inPanic {
+		t := w.pass.TypesInfo.TypeOf(cl)
+		if t != nil {
+			switch t.Underlying().(type) {
+			case *types.Map:
+				w.reportf(cl.Pos(), "map literal allocates on the hot path")
+			case *types.Slice:
+				w.reportf(cl.Pos(), "slice literal allocates on the hot path")
+			default:
+				if addressed {
+					w.reportf(cl.Pos(), "&composite literal escapes to the heap on the hot path (//cup:allowalloc if this is an intentional cold branch)")
+				}
+			}
+		}
+	}
+	for _, e := range cl.Elts {
+		w.walk(e, inPanic)
+	}
+}
+
+// conversion flags string<->bytes and to-interface conversions.
+func (w *walker) conversion(call *ast.CallExpr, target types.Type, inPanic bool) {
+	if inPanic || len(call.Args) != 1 {
+		return
+	}
+	src := w.pass.TypesInfo.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if isStringBytes(target, src) || isStringBytes(src, target) {
+		w.reportf(call.Pos(), "string/[]byte conversion copies and allocates on the hot path")
+		return
+	}
+	if types.IsInterface(target.Underlying()) && boxes(src) {
+		w.reportf(call.Pos(), "conversion to interface boxes a %s and allocates on the hot path", src.String())
+	}
+}
+
+func isStringBytes(a, b types.Type) bool {
+	ab, ok := a.Underlying().(*types.Basic)
+	if !ok || ab.Info()&types.IsString == 0 {
+		return false
+	}
+	sl, ok := b.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	el, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (el.Kind() == types.Byte || el.Kind() == types.Rune ||
+		el.Kind() == types.Uint8 || el.Kind() == types.Int32)
+}
+
+// boxes reports whether storing a value of type t in an interface
+// allocates: everything except pointer-shaped types (pointers,
+// channels, maps, funcs, unsafe.Pointer) and interfaces themselves.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
+	}
+	return true
+}
+
+// boxingArgs flags non-pointer-shaped values passed to interface
+// parameters.
+func (w *walker) boxingArgs(call *ast.CallExpr) {
+	tv, ok := w.pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			if call.Ellipsis != token.NoPos {
+				continue // spread: no per-element boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+			// The variadic call itself also allocates the args slice.
+			if i == sig.Params().Len()-1 {
+				w.reportf(call.Pos(), "variadic call allocates its argument slice on the hot path")
+			}
+		} else if i < sig.Params().Len() {
+			param = sig.Params().At(i).Type()
+		} else {
+			continue
+		}
+		if !types.IsInterface(param.Underlying()) {
+			continue
+		}
+		at := w.pass.TypesInfo.TypeOf(arg)
+		if at == nil || !boxes(at) {
+			continue
+		}
+		w.reportf(arg.Pos(), "passing %s to interface parameter boxes and allocates on the hot path", at.String())
+	}
+}
+
+// funcLit flags closures that capture variables.
+func (w *walker) funcLit(fl *ast.FuncLit) {
+	var captured []string
+	seen := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.pass.TypesInfo.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		// Captured: declared outside the literal but inside the
+		// enclosing function (package-level vars are not captures).
+		if v.Pos() < fl.Pos() && v.Pos() >= w.fn.Pos() && v.Parent() != w.pass.Pkg.Scope() {
+			seen[v] = true
+			captured = append(captured, v.Name())
+		}
+		return true
+	})
+	if len(captured) > 0 {
+		w.reportf(fl.Pos(), "closure captures %v and allocates per call on the hot path", captured)
+	}
+}
+
+// methodValue flags x.M used as a value (it allocates a bound method
+// closure). Direct calls, defer x.M(), and go x.M() are fine.
+func (w *walker) methodValue(sel *ast.SelectorExpr, inPanic bool) {
+	if inPanic {
+		return
+	}
+	s, ok := w.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	// Selectors in call position never reach here: call() walks the
+	// callee through its receiver expression, bypassing the selector.
+	w.reportf(sel.Pos(), "method value %s.%s allocates a bound closure on the hot path", exprString(sel.X), sel.Sel.Name)
+}
+
+func exprString(e ast.Expr) string {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "expr"
+}

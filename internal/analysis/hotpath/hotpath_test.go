@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"cup/internal/analysis/analysistest"
+	"cup/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, ".", hotpath.Analyzer, "hotfix")
+}

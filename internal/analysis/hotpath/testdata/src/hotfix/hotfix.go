@@ -1,0 +1,82 @@
+package hotfix
+
+import "fmt"
+
+type T struct{ n int }
+
+func (t *T) M() {}
+
+//cup:hotpath
+func allocs(xs []int, m map[string]int, s string) {
+	_ = make([]int, 8)   // want `make allocates on the hot path`
+	_ = new(T)           // want `new allocates on the hot path`
+	xs = append(xs, 1)   // want `append may grow and allocate`
+	_ = []int{1, 2}      // want `slice literal allocates`
+	_ = map[string]int{} // want `map literal allocates`
+	_ = &T{n: 1}         // want `&composite literal escapes to the heap`
+	m["k"] = 1           // want `map assignment may grow the table`
+	_ = s + "x"          // want `string concatenation allocates`
+	_ = []byte(s)        // want `string/\[\]byte conversion copies`
+	_ = xs
+}
+
+//cup:hotpath
+func format(t *T) {
+	fmt.Println(t.n) // want `fmt.Println allocates` `variadic call allocates its argument slice` `passing int to interface parameter boxes`
+}
+
+//cup:hotpath
+func closure(n int) func() int {
+	return func() int { return n } // want `closure captures \[n\]`
+}
+
+//cup:hotpath
+func noCapture() func() int {
+	return func() int { return 42 } // captures nothing: free to construct
+}
+
+//cup:hotpath
+func methodVal(t *T) func() {
+	return t.M // want `method value t.M allocates a bound closure`
+}
+
+//cup:hotpath
+func directCall(t *T) {
+	t.M() // call position: no bound closure
+}
+
+//cup:hotpath
+func spawn(t *T) {
+	go t.M() // want `go statement allocates a goroutine`
+}
+
+//cup:hotpath
+func box(v int) any {
+	return any(v) // want `conversion to interface boxes a int`
+}
+
+//cup:hotpath
+func boxFree(p *T, c chan int) (any, any) {
+	// Pointer-shaped values box for free.
+	return any(p), any(c)
+}
+
+//cup:hotpath
+func pool(free []*T) []*T {
+	// Amortized pool growth, deliberately allowed.
+	free = append(free, &T{}) //cup:allowalloc
+	return free
+}
+
+//cup:hotpath
+func assert(ok bool) {
+	if !ok {
+		// panic arguments are off the measured path.
+		panic(fmt.Sprintf("bad state %d", 1))
+	}
+}
+
+// cold is unannotated: allocate freely.
+func cold() []int {
+	return append(make([]int, 0, 8), 1, 2, 3)
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load builds the packages matching patterns (relative to dir) the same
+// way `go vet` would: `go list -export -deps` compiles every dependency
+// to export data in the build cache, and each target package is then
+// parsed from source and type-checked against that export data. The
+// whole pipeline is offline — it only touches the local build cache.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var targets []*listPackage
+	exports := make(map[string]string) // import path -> export data file
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && lp.Name != "" {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, lp := range targets {
+		if len(lp.CgoFiles) > 0 {
+			// No cgo in this repository; typechecking it from source
+			// needs the generated _cgo files, so skip rather than fail.
+			continue
+		}
+		pkg, err := typecheck(fset, lp, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typecheck parses and checks one listed package against the export
+// data of its dependencies.
+func typecheck(fset *token.FileSet, lp *listPackage, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", exportLookup(lp.ImportMap, exports))
+	info := NewInfo()
+	conf := types.Config{Importer: imp, Error: func(error) {}}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		Path: lp.ImportPath, Dir: lp.Dir,
+		Fset: fset, Files: files, Types: tpkg, Info: info,
+	}, nil
+}
+
+// exportLookup maps source-level import paths through the package's
+// ImportMap (vendoring, test rewrites) to cached export data files.
+func exportLookup(importMap map[string]string, exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// diagnostics sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := ParseDirectives(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				Directives: dirs,
+				Report:     func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+		sortDiags(pkg.Fset, diags)
+	}
+	return diags, nil
+}
+
+func sortDiags(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}
+
+// Format renders a diagnostic as file:line:col: message (analyzer),
+// with file relative to base when possible.
+func Format(fset *token.FileSet, base string, d Diagnostic) string {
+	pos := fset.Position(d.Pos)
+	file := pos.Filename
+	if base != "" {
+		if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", file, pos.Line, pos.Column, d.Message, d.Analyzer)
+}

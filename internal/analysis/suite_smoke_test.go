@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cup/internal/analysis"
+	"cup/internal/analysis/ctxdiscipline"
+	"cup/internal/analysis/determinism"
+	"cup/internal/analysis/eventexhaustive"
+	"cup/internal/analysis/hotpath"
+)
+
+// TestSuiteCleanOnTree is the lint gate in test form: the full cuplint
+// suite must produce zero diagnostics over the repository. A failure
+// here means a change introduced nondeterminism, an allocation on an
+// annotated hot path, an uncovered event kind, or an uncancellable
+// block — fix the code or annotate with justification, exactly as the
+// diagnostic says.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	suite := []*analysis.Analyzer{
+		ctxdiscipline.Analyzer,
+		determinism.Analyzer,
+		eventexhaustive.Analyzer,
+		hotpath.Analyzer,
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, suite)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", analysis.Format(pkgs[0].Fset, "../..", d))
+	}
+}

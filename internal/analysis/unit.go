@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// This file speaks cmd/go's vettool protocol, the same contract
+// x/tools' unitchecker implements, so `go vet -vettool=$(which
+// cuplint) ./...` drives the suite one compilation unit at a time:
+//
+//  1. `cuplint -V=full` prints a stable version line cmd/go hashes
+//     into its build cache key;
+//  2. `cuplint -flags` prints the tool's flag schema (empty: the
+//     suite has no tunables);
+//  3. `cuplint $WORK/.../vet.cfg` analyzes one package described by a
+//     JSON config, writes the (empty — the suite is fact-free) .vetx
+//     facts file cmd/go expects, and prints diagnostics to stderr,
+//     exiting 2 when there are any.
+
+// unitConfig mirrors the JSON cmd/go writes for each vet invocation.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoreFiles               []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements the -V=full handshake: a line starting with
+// the program name and ending in a build-identifying hash.
+func PrintVersion(w io.Writer, progname string) {
+	// Hash the executable so rebuilding cuplint invalidates cmd/go's
+	// vet result cache, exactly as unitchecker does.
+	var sum [sha256.Size]byte
+	if data, err := os.ReadFile(os.Args[0]); err == nil {
+		sum = sha256.Sum256(data)
+	}
+	fmt.Fprintf(w, "%s version devel buildID=%02x\n", progname, sum)
+}
+
+// PrintFlags implements the -flags handshake. The suite registers no
+// pass-through flags, so the schema is an empty JSON array.
+func PrintFlags(w io.Writer) {
+	fmt.Fprintln(w, "[]")
+}
+
+// RunUnit analyzes the single compilation unit described by the config
+// file at cfgPath and returns its diagnostics plus the fileset they
+// resolve against. It always writes the .vetx facts output (empty —
+// no cuplint analyzer uses facts), because cmd/go treats a missing
+// output as a tool failure.
+func RunUnit(cfgPath string, analyzers []*Analyzer) (*token.FileSet, []Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, nil, fmt.Errorf("parse %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only invocation: cmd/go wants facts, and the
+		// suite has none to offer.
+		return token.NewFileSet(), nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return fset, nil, nil
+			}
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := NewInfo()
+	conf := types.Config{Importer: imp, Error: func(error) {}}
+	if v := strings.TrimSuffix(cfg.GoVersion, " X:boringcrypto"); v != "" {
+		conf.GoVersion = v
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return fset, nil, nil
+		}
+		return nil, nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	pkg := &Package{Path: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: files, Types: tpkg, Info: info}
+	diags, err := RunAnalyzers([]*Package{pkg}, analyzers)
+	return fset, diags, err
+}

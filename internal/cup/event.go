@@ -47,6 +47,7 @@ const (
 
 // String implements fmt.Stringer.
 func (k EventKind) String() string {
+	//cup:eventexhaustive
 	switch k {
 	case EvQueryIssued:
 		return "query-issued"
@@ -119,34 +120,49 @@ func (f ObserverFunc) OnEvent(e Event) { f(e) }
 // so one Bus serves both the single-threaded simulator and the
 // goroutine-per-peer live runtime.
 //
+// Observers and subscribers are kept in attach-order slices, not maps:
+// fan-out order is part of the event-stream contract (two observers of
+// the same simulated run must see identical interleavings on every
+// execution), and a map range here once made collector-vs-trace
+// orderings flip between runs. Slice iteration is also what keeps
+// OnEvent on the zero-allocation hot path.
+//
 // Channel subscribers are never allowed to block an emitter: when a
 // subscriber's buffer is full the event is dropped for that subscriber
 // and counted in Dropped. Synchronous observers see every event.
 type Bus struct {
 	mu      sync.RWMutex
 	seq     uint64
-	taps    map[uint64]Observer
-	subs    map[uint64]*busSub
+	taps    []busTap
+	subs    []*busSub
 	dropped atomic.Uint64
 }
 
+type busTap struct {
+	id uint64
+	o  Observer
+}
+
 type busSub struct {
+	id     uint64
 	ch     chan Event
 	filter func(Event) bool
 }
 
 // NewBus returns an empty bus.
 func NewBus() *Bus {
-	return &Bus{taps: make(map[uint64]Observer), subs: make(map[uint64]*busSub)}
+	return &Bus{}
 }
 
-// OnEvent implements Observer by fanning the event out, so a Bus can be
-// installed directly as a node or transport observer.
+// OnEvent implements Observer by fanning the event out in attach order,
+// so a Bus can be installed directly as a node or transport observer.
+//
+//cup:hotpath
 func (b *Bus) OnEvent(e Event) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	for _, t := range b.taps {
-		t.OnEvent(e)
+	for i := range b.taps {
+		b.taps[i].o.OnEvent(e)
 	}
 	for _, s := range b.subs {
 		if s.filter != nil && !s.filter(e) {
@@ -166,11 +182,16 @@ func (b *Bus) Attach(o Observer) (detach func()) {
 	b.mu.Lock()
 	b.seq++
 	id := b.seq
-	b.taps[id] = o
+	b.taps = append(b.taps, busTap{id: id, o: o})
 	b.mu.Unlock()
 	return func() {
 		b.mu.Lock()
-		delete(b.taps, id)
+		for i := range b.taps {
+			if b.taps[i].id == id {
+				b.taps = append(b.taps[:i], b.taps[i+1:]...)
+				break
+			}
+		}
 		b.mu.Unlock()
 	}
 }
@@ -183,21 +204,23 @@ func (b *Bus) Subscribe(buffer int, filter func(Event) bool) (<-chan Event, func
 	if buffer <= 0 {
 		buffer = 256
 	}
-	s := &busSub{ch: make(chan Event, buffer), filter: filter}
 	b.mu.Lock()
 	b.seq++
-	id := b.seq
-	b.subs[id] = s
+	s := &busSub{id: b.seq, ch: make(chan Event, buffer), filter: filter}
+	b.subs = append(b.subs, s)
 	b.mu.Unlock()
 	// Membership in b.subs guards the close: emitters hold the read lock
 	// while sending, and both cancel and CloseSubscribers close only the
-	// channel they removed from the map under the write lock, so the
+	// channels they removed from the slice under the write lock, so each
 	// channel closes exactly once with no send racing it.
 	cancel := func() {
 		b.mu.Lock()
-		if _, ok := b.subs[id]; ok {
-			delete(b.subs, id)
-			close(s.ch)
+		for i := range b.subs {
+			if b.subs[i].id == s.id {
+				b.subs = append(b.subs[:i], b.subs[i+1:]...)
+				close(s.ch)
+				break
+			}
 		}
 		b.mu.Unlock()
 	}
@@ -209,10 +232,10 @@ func (b *Bus) Subscribe(buffer int, filter func(Event) bool) (<-chan Event, func
 // stay attached.
 func (b *Bus) CloseSubscribers() {
 	b.mu.Lock()
-	for id, s := range b.subs {
-		delete(b.subs, id)
+	for _, s := range b.subs {
 		close(s.ch)
 	}
+	b.subs = nil
 	b.mu.Unlock()
 }
 

@@ -1,0 +1,98 @@
+package cup
+
+import (
+	"testing"
+)
+
+// TestBusFanOutOrder pins the fan-out order contract: observers see
+// events in attach order, every run. The bus used to keep observers in
+// a map, so two observers of the same simulated run could see their
+// callbacks interleaved differently between executions — a determinism
+// leak cuplint's determinism pass now flags and this test regresses.
+func TestBusFanOutOrder(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		b := NewBus()
+		var order []int
+		for i := 0; i < 8; i++ {
+			i := i
+			b.Attach(ObserverFunc(func(Event) { order = append(order, i) }))
+		}
+		b.OnEvent(Event{Kind: EvQueryIssued})
+		if len(order) != 8 {
+			t.Fatalf("trial %d: %d observers fired, want 8", trial, len(order))
+		}
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("trial %d: fan-out order %v, want attach order", trial, order)
+			}
+		}
+	}
+}
+
+// TestBusDetachMidstream verifies detaching preserves the relative
+// order of the remaining observers and detached ones stop firing.
+func TestBusDetachMidstream(t *testing.T) {
+	b := NewBus()
+	var order []int
+	detach := make([]func(), 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		detach[i] = b.Attach(ObserverFunc(func(Event) { order = append(order, i) }))
+	}
+	detach[1]()
+	detach[3]()
+	b.OnEvent(Event{Kind: EvQueryIssued})
+	want := []int{0, 2, 4}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+	// Detaching twice is a no-op, not a corruption of the slice.
+	detach[1]()
+	order = order[:0]
+	b.OnEvent(Event{Kind: EvQueryIssued})
+	if len(order) != len(want) {
+		t.Fatalf("after double detach: fired %v, want %v", order, want)
+	}
+}
+
+// TestBusSubscribeCancel verifies cancel closes exactly the cancelled
+// subscription and CloseSubscribers closes the rest.
+func TestBusSubscribeCancel(t *testing.T) {
+	b := NewBus()
+	ch1, cancel1 := b.Subscribe(4, nil)
+	ch2, _ := b.Subscribe(4, nil)
+	b.OnEvent(Event{Kind: EvCutoffFired})
+	cancel1()
+	if e, ok := <-ch1; !ok || e.Kind != EvCutoffFired {
+		t.Fatalf("ch1 buffered event lost: %v %v", e, ok)
+	}
+	if _, ok := <-ch1; ok {
+		t.Fatal("ch1 not closed after cancel")
+	}
+	cancel1() // second cancel is a no-op
+	b.CloseSubscribers()
+	if e, ok := <-ch2; !ok || e.Kind != EvCutoffFired {
+		t.Fatalf("ch2 buffered event lost: %v %v", e, ok)
+	}
+	if _, ok := <-ch2; ok {
+		t.Fatal("ch2 not closed after CloseSubscribers")
+	}
+}
+
+// TestBusOnEventAllocs pins the zero-allocation fan-out contract for
+// the //cup:hotpath-annotated OnEvent.
+func TestBusOnEventAllocs(t *testing.T) {
+	b := NewBus()
+	sink := 0
+	b.Attach(ObserverFunc(func(e Event) { sink += e.Entries }))
+	b.Attach(ObserverFunc(func(e Event) { sink += e.Depth }))
+	ev := Event{Kind: EvUpdatePushed, Entries: 1, Depth: 2}
+	if allocs := testing.AllocsPerRun(1000, func() { b.OnEvent(ev) }); allocs != 0 {
+		t.Fatalf("Bus.OnEvent allocates %.1f per event, want 0", allocs)
+	}
+}

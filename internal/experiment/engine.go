@@ -158,11 +158,13 @@ func (e *Engine) worker() {
 	}
 }
 
-// runOne executes a dispatched trial and resolves its future.
+// runOne executes a dispatched trial and resolves its future. The
+// wall-clock reads below time the host's execution of the trial for
+// scheduler cost estimates; they never feed simulated results.
 func (e *Engine) runOne(pt *pendingTrial) {
-	start := time.Now()
+	start := time.Now() //cup:wallclock
 	defer func() {
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //cup:wallclock
 		e.statMu.Lock()
 		e.trialNs = append(e.trialNs, elapsed)
 		hist := e.trialHist

@@ -68,11 +68,16 @@ func NewCollector(reg *Registry) *Collector {
 }
 
 // OnEvent implements cup.Observer. Zero allocations.
+//
+//cup:hotpath
 func (c *Collector) OnEvent(e cupcore.Event) {
 	if int(e.Kind) < len(c.byKind) {
 		c.byKind[e.Kind].Inc()
 	}
+	//cup:eventexhaustive
 	switch e.Kind {
+	case cupcore.EvQueryIssued, cupcore.EvNodeJoined, cupcore.EvNodeLeft:
+		// Tallied per kind above; no dedicated series beyond the count.
 	case cupcore.EvQueryAnswered:
 		c.latency.Observe(float64(e.Latency))
 	case cupcore.EvUpdatePushed:

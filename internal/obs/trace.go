@@ -95,37 +95,48 @@ func (t *Tracer) SetMaxKeys(n int) {
 }
 
 // spans returns (allocating if allowed) the accumulator map for k.
+//
+//cup:hotpath
 func (t *Tracer) spans(k overlay.Key) map[overlay.NodeID]*spanState {
 	m := t.keys[k]
 	if m == nil {
 		if t.maxKeys > 0 && len(t.keys) >= t.maxKeys {
 			return nil
 		}
-		m = make(map[overlay.NodeID]*spanState)
-		t.keys[k] = m
+		// Cold branch: first event for a new key.
+		m = make(map[overlay.NodeID]*spanState) //cup:allowalloc
+		t.keys[k] = m                           //cup:allowalloc
 	}
 	return m
 }
 
 // at returns (allocating if needed) the accumulator for node n of key k,
 // stamping the observation time.
+//
+//cup:hotpath
 func at(m map[overlay.NodeID]*spanState, n overlay.NodeID, now sim.Time) *spanState {
 	s := m[n]
 	if s == nil {
-		s = &spanState{parent: overlay.NoNode, depth: -1, first: now}
-		m[n] = s
+		// Cold branch: a node's first event for this key.
+		s = &spanState{parent: overlay.NoNode, depth: -1, first: now} //cup:allowalloc
+		m[n] = s                                                      //cup:allowalloc
 	}
 	s.last = now
 	return s
 }
 
-// OnEvent implements cup.Observer.
+// OnEvent implements cup.Observer. Steady-state span updates are
+// allocation-free; only the first observation of a (key, node) pair
+// allocates its accumulator (see at and spans).
+//
+//cup:hotpath
 func (t *Tracer) OnEvent(e cupcore.Event) {
+	//cup:eventexhaustive
 	switch e.Kind {
+	case cupcore.EvNodeJoined, cupcore.EvNodeLeft:
+		return // membership events carry no key
 	case cupcore.EvQueryIssued, cupcore.EvQueryAnswered, cupcore.EvQueryCoalesced,
 		cupcore.EvUpdatePushed, cupcore.EvCutoffFired:
-	default:
-		return // membership events carry no key
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()

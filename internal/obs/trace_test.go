@@ -101,3 +101,28 @@ func TestTracerKeyBound(t *testing.T) {
 		}
 	}
 }
+
+// TestTracerSteadyStateAllocs pins the //cup:hotpath contract on
+// Tracer.OnEvent: once a (key, node) pair's accumulator exists,
+// folding further events into it is allocation-free. Only the first
+// observation of a pair allocates (the spanState and per-key map,
+// both //cup:allowalloc).
+func TestTracerSteadyStateAllocs(t *testing.T) {
+	tr := NewTracer()
+	warm := []cupcore.Event{
+		{Kind: cupcore.EvQueryIssued, Time: 1, Node: 1, Peer: cupcore.LocalClient, Key: "k"},
+		{Kind: cupcore.EvUpdatePushed, Time: 2, Node: 0, Peer: 1, Key: "k", Type: cupcore.Refresh, Depth: 1},
+		{Kind: cupcore.EvQueryAnswered, Time: 3, Node: 1, Peer: cupcore.LocalClient, Key: "k", Entries: 1},
+		{Kind: cupcore.EvCutoffFired, Time: 4, Node: 1, Peer: 0, Key: "k"},
+	}
+	for _, e := range warm {
+		tr.OnEvent(e) // allocate every accumulator the loop below touches
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		for _, e := range warm {
+			tr.OnEvent(e)
+		}
+	}); allocs != 0 {
+		t.Fatalf("steady-state Tracer.OnEvent allocates %.1f per batch, want 0", allocs)
+	}
+}

@@ -63,23 +63,34 @@ type event struct {
 
 type eventHeap []*event
 
+//cup:hotpath
 func (h eventHeap) Len() int { return len(h) }
+
+//cup:hotpath
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
+
+//cup:hotpath
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
+
+//cup:hotpath
 func (h *eventHeap) Push(x any) {
 	e := x.(*event)
 	e.index = len(*h)
-	*h = append(*h, e)
+	// Amortized growth: the heap is pre-sized to initialQueueCap and only
+	// grows past a workload's all-time peak.
+	*h = append(*h, e) //cup:allowalloc
 }
+
+//cup:hotpath
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -162,6 +173,8 @@ func (s *Scheduler) FreeLen() int { return len(s.free) }
 func (s *Scheduler) HighWater() int { return s.highWater }
 
 // alloc returns a fresh entry, reusing the free list when possible.
+//
+//cup:hotpath
 func (s *Scheduler) alloc() *event {
 	if n := len(s.free); n > 0 {
 		e := s.free[n-1]
@@ -169,22 +182,30 @@ func (s *Scheduler) alloc() *event {
 		s.free = s.free[:n-1]
 		return e
 	}
-	return &event{}
+	// Pool refill: reached only when the free list is empty, i.e. the
+	// first time the queue grows past its historical peak.
+	return &event{} //cup:allowalloc
 }
 
 // recycle invalidates outstanding handles to e and returns it to the
 // free list for reuse by a later At.
+//
+//cup:hotpath
 func (s *Scheduler) recycle(e *event) {
 	e.gen++
 	e.fn = nil
 	e.cancelled = false
 	e.index = -1
-	s.free = append(s.free, e)
+	// Amortized pool growth: capacity chases the queue's peak and is then
+	// reused for the rest of the run.
+	s.free = append(s.free, e) //cup:allowalloc
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (before
 // Now) is an error in a discrete-event simulation and panics: it always
 // indicates a protocol bug, never a recoverable condition.
+//
+//cup:hotpath
 func (s *Scheduler) At(t Time, fn func()) EventID {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
@@ -203,6 +224,8 @@ func (s *Scheduler) At(t Time, fn func()) EventID {
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
+//
+//cup:hotpath
 func (s *Scheduler) After(d Duration, fn func()) EventID {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -214,6 +237,8 @@ func (s *Scheduler) After(d Duration, fn func()) EventID {
 // pending. Cancelling an already-fired, already-cancelled, or zero handle
 // is a no-op. The entry stays queued until popped or compacted; Pending
 // excludes it immediately.
+//
+//cup:hotpath
 func (s *Scheduler) Cancel(id EventID) bool {
 	e := id.e
 	if e == nil || e.gen != id.gen || e.cancelled {
@@ -230,6 +255,8 @@ func (s *Scheduler) Cancel(id EventID) bool {
 // workloads (timer churn would otherwise leak entries until drain). The
 // rebuild is O(n) against Ω(n) cancellations since the last one, so the
 // amortized cost per Cancel is O(1).
+//
+//cup:hotpath
 func (s *Scheduler) maybeCompact() {
 	if len(s.queue) < compactFloor || 2*s.cancelled <= len(s.queue) {
 		return
@@ -241,7 +268,9 @@ func (s *Scheduler) maybeCompact() {
 			continue
 		}
 		e.index = len(keep)
-		keep = append(keep, e)
+		// Never grows: keep reuses s.queue's backing array and only
+		// shrinks the logical length.
+		keep = append(keep, e) //cup:allowalloc
 	}
 	for i := len(keep); i < len(s.queue); i++ {
 		s.queue[i] = nil
@@ -252,6 +281,8 @@ func (s *Scheduler) maybeCompact() {
 }
 
 // Step fires the next event. It reports false when the queue is empty.
+//
+//cup:hotpath
 func (s *Scheduler) Step() bool {
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(*event)
@@ -281,6 +312,8 @@ func (s *Scheduler) Step() bool {
 // retained pool still covers the current queue twice over (never below
 // the initial capacity), so a steady workload never shrinks and then
 // reallocates — the hot path stays allocation-free.
+//
+//cup:hotpath
 func (s *Scheduler) maybeShrink() {
 	if 4*len(s.queue) >= s.highWater {
 		s.quiet = 0
@@ -299,7 +332,9 @@ func (s *Scheduler) maybeShrink() {
 		if cap(s.free) > 4*keep {
 			// The backing array itself is burst-sized; reallocate so it
 			// is released along with the dropped entries.
-			s.free = append(make([]*event, 0, keep), s.free[:keep]...)
+			// Deliberate reallocation: shrinking trades one allocation for
+			// releasing a burst-sized backing array.
+			s.free = append(make([]*event, 0, keep), s.free[:keep]...) //cup:allowalloc
 		} else {
 			for i := keep; i < len(s.free); i++ {
 				s.free[i] = nil
@@ -326,6 +361,8 @@ func (s *Scheduler) AdvanceTo(t Time) {
 }
 
 // peekTime returns the time of the next non-cancelled event, or Infinity.
+//
+//cup:hotpath
 func (s *Scheduler) peekTime() Time {
 	for len(s.queue) > 0 {
 		if s.queue[0].cancelled {
