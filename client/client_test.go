@@ -1,0 +1,304 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cup/internal/cache"
+	"cup/internal/overlay"
+	"cup/internal/serve"
+	"cup/internal/sim"
+)
+
+// hostBackend is one fake host's store: the client tests model a fleet
+// of independent servers (the justcache shape), so rendezvous placement
+// is observable — a key Put to its primary is absent from other hosts.
+type hostBackend struct {
+	mu      sync.Mutex
+	entries map[overlay.Key][]cache.Entry
+}
+
+func (h *hostBackend) Size() int        { return 8 }
+func (h *hostBackend) Now() sim.Time    { return 0 }
+func (h *hostBackend) Load() (int, int) { return 0, 0 }
+
+func (h *hostBackend) LookupAt(ctx context.Context, at overlay.NodeID, key overlay.Key) ([]cache.Entry, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]cache.Entry(nil), h.entries[key]...), nil
+}
+
+func (h *hostBackend) Publish(ctx context.Context, key overlay.Key, replica int, addr string, lifetime time.Duration) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	kept := h.entries[key][:0]
+	for _, e := range h.entries[key] {
+		if e.Replica != replica {
+			kept = append(kept, e)
+		}
+	}
+	h.entries[key] = append(kept, cache.Entry{
+		Key: key, Replica: replica, Addr: addr, Expires: sim.Time(lifetime.Seconds()),
+	})
+	return nil
+}
+
+func (h *hostBackend) Unpublish(ctx context.Context, key overlay.Key, replica int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.entries, key)
+	return nil
+}
+
+func (h *hostBackend) has(key string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.entries[overlay.Key(key)]) > 0
+}
+
+func (h *hostBackend) set(key string, e cache.Entry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.entries[overlay.Key(key)] = []cache.Entry{e}
+}
+
+// newFleet boots n independent serving hosts and returns their
+// addresses plus per-address backends.
+func newFleet(t *testing.T, n int) ([]string, map[string]*hostBackend) {
+	t.Helper()
+	hosts := make([]string, n)
+	backends := make(map[string]*hostBackend, n)
+	for i := 0; i < n; i++ {
+		b := &hostBackend{entries: make(map[overlay.Key][]cache.Entry)}
+		srv, err := serve.New(serve.Config{Backend: b, PromiseTTL: 250 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("serve.New: %v", err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		mux := http.NewServeMux()
+		srv.Register(mux)
+		hs := httptest.NewServer(mux)
+		t.Cleanup(hs.Close)
+		addr := hs.Listener.Addr().String()
+		hosts[i] = addr
+		backends[addr] = b
+	}
+	return hosts, backends
+}
+
+func newTestClient(t *testing.T, hosts []string, mutate func(*Config)) *Client {
+	t.Helper()
+	cfg := Config{
+		Hosts:   hosts,
+		Backoff: 5 * time.Millisecond,
+		Seed:    1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("client.New: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestRankProperties(t *testing.T) {
+	hosts := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	// Deterministic: same inputs, same ranking.
+	if !reflect.DeepEqual(rank(hosts, "k"), rank(hosts, "k")) {
+		t.Fatal("rank is not deterministic")
+	}
+	// Permutation-invariant: every client agrees regardless of the order
+	// its config listed the hosts in.
+	perm := []string{"d:1", "a:1", "e:1", "c:1", "b:1"}
+	if !reflect.DeepEqual(rank(hosts, "k"), rank(perm, "k")) {
+		t.Fatal("rank depends on host list order")
+	}
+	// Total: every host appears exactly once.
+	seen := map[string]int{}
+	for _, h := range rank(hosts, "k") {
+		seen[h]++
+	}
+	if len(seen) != len(hosts) {
+		t.Fatalf("rank lost hosts: %v", seen)
+	}
+	// Minimal disruption: removing one host must not reorder the keys
+	// that did not rank it first.
+	shrunk := []string{"a:1", "b:1", "c:1", "d:1"} // e removed
+	moved := 0
+	for i := 0; i < 200; i++ {
+		key := string(rune('A'+i%26)) + string(rune('0'+i/26))
+		full := rank(hosts, key)
+		if full[0] == "e:1" {
+			continue // e was primary; this key must move
+		}
+		if rank(shrunk, key)[0] != full[0] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys changed primary although their primary survived", moved)
+	}
+	// Spread: no host owns everything.
+	primaries := map[string]int{}
+	for i := 0; i < 100; i++ {
+		primaries[rank(hosts, string(rune('a'+i%26))+string(rune('0'+i/26)))[0]]++
+	}
+	if len(primaries) < 3 {
+		t.Fatalf("primaries concentrated on %d hosts: %v", len(primaries), primaries)
+	}
+}
+
+func TestPutThenGetHitsPrimary(t *testing.T) {
+	hosts, backends := newFleet(t, 3)
+	c := newTestClient(t, hosts, nil)
+	ctx := context.Background()
+
+	if err := c.Put(ctx, "k", Entry{Replica: 0, Addr: "origin", TTL: 60}, 0); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	primary := c.RankHosts("k")[0]
+	if !backends[primary].has("k") {
+		t.Fatal("Put did not land on the rendezvous primary")
+	}
+	for addr, b := range backends {
+		if addr != primary && b.has("k") {
+			t.Fatalf("Put leaked to non-primary host %s", addr)
+		}
+	}
+	entries, err := c.Get(ctx, "k")
+	if err != nil || len(entries) != 1 || entries[0].Addr != "origin" {
+		t.Fatalf("Get = %v, %v; want the origin entry", entries, err)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("stats.Hits = %d, want 1", st.Hits)
+	}
+}
+
+func TestGetMissReturnsErrMiss(t *testing.T) {
+	hosts, _ := newFleet(t, 3)
+	c := newTestClient(t, hosts, nil)
+	if _, err := c.Get(context.Background(), "nope"); err != ErrMiss {
+		t.Fatalf("Get on cold key = %v, want ErrMiss", err)
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("stats.Misses = %d, want 1", st.Misses)
+	}
+}
+
+func TestReplicaHitSchedulesWriteBack(t *testing.T) {
+	hosts, backends := newFleet(t, 4)
+	c := newTestClient(t, hosts, nil)
+	ctx := context.Background()
+
+	ranked := c.RankHosts("wb")
+	primary, replica := ranked[0], ranked[1]
+	backends[replica].set("wb", cache.Entry{Key: "wb", Replica: 0, Addr: "origin", Expires: 60})
+
+	entries, err := c.Get(ctx, "wb")
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("Get = %v, %v", entries, err)
+	}
+	// The write-back is asynchronous and best-effort; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for !backends[primary].has("wb") {
+		if time.Now().After(deadline) {
+			t.Fatal("replica hit never written back to the primary")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := c.Stats(); st.WriteBacks != 1 {
+		t.Fatalf("stats.WriteBacks = %d, want 1", st.WriteBacks)
+	}
+}
+
+func TestGetOrFillPopulatesOnce(t *testing.T) {
+	hosts, backends := newFleet(t, 3)
+	ctx := context.Background()
+
+	// Two independent clients race to fill the same cold key — the
+	// promise protocol must elect exactly one filler; the loser waits and
+	// reads the winner's value.
+	c1 := newTestClient(t, hosts, nil)
+	c2 := newTestClient(t, hosts, nil)
+	var fills atomic.Int64
+	fill := func(context.Context) (Entry, time.Duration, error) {
+		fills.Add(1)
+		return Entry{Replica: 0, Addr: "origin", TTL: 60}, time.Minute, nil
+	}
+	var wg sync.WaitGroup
+	results := make([][]Entry, 2)
+	errs := make([]error, 2)
+	for i, c := range []*Client{c1, c2} {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			results[i], errs[i] = c.GetOrFill(ctx, "cold", fill)
+		}(i, c)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("GetOrFill[%d]: %v", i, errs[i])
+		}
+		if len(results[i]) == 0 || results[i][0].Addr != "origin" {
+			t.Fatalf("GetOrFill[%d] = %v, want the filled entry", i, results[i])
+		}
+	}
+	if got := fills.Load(); got != 1 {
+		t.Fatalf("fill ran %d times, want exactly 1 (promise protocol failed)", got)
+	}
+	primary := c1.RankHosts("cold")[0]
+	if !backends[primary].has("cold") {
+		t.Fatal("filled entry missing from the primary")
+	}
+	if st1, st2 := c1.Stats(), c2.Stats(); st1.Promises+st2.Promises != 1 {
+		t.Fatalf("promise grants = %d+%d, want exactly 1", st1.Promises, st2.Promises)
+	}
+}
+
+func TestGetOrFillReadsExistingKey(t *testing.T) {
+	hosts, _ := newFleet(t, 3)
+	c := newTestClient(t, hosts, nil)
+	ctx := context.Background()
+	if err := c.Put(ctx, "warm", Entry{Replica: 0, Addr: "origin", TTL: 60}, 0); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := c.GetOrFill(ctx, "warm", func(context.Context) (Entry, time.Duration, error) {
+		t.Fatal("fill ran for a warm key")
+		return Entry{}, 0, nil
+	})
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("GetOrFill = %v, %v", entries, err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with no hosts succeeded")
+	}
+	if _, err := New(Config{Hosts: []string{"a:1"}, Fanout: -1}); err == nil {
+		t.Fatal("New with negative fanout succeeded")
+	}
+}
+
+func TestFanoutTruncatesRanking(t *testing.T) {
+	hosts := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	c := newTestClient(t, hosts, func(cfg *Config) { cfg.Fanout = 2 })
+	if got := len(c.RankHosts("k")); got != 2 {
+		t.Fatalf("RankHosts returned %d hosts, want fanout 2", got)
+	}
+	// Fanout above the host count degrades to the full set.
+	c2 := newTestClient(t, hosts[:2], func(cfg *Config) { cfg.Fanout = 9 })
+	if got := len(c2.RankHosts("k")); got != 2 {
+		t.Fatalf("RankHosts returned %d hosts, want all 2", got)
+	}
+}

@@ -1,0 +1,58 @@
+package client
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// rendezvous ranking (highest-random-weight hashing): every client
+// computes, independently and without coordination, the same host
+// ordering for a key by scoring each (host, key) pair with a hash and
+// sorting descending. The top-ranked host is the key's primary; the
+// next Fanout-1 are its replicas. Adding or removing a host reshuffles
+// only the keys that ranked that host first — the property that lets a
+// fleet of independent smart clients agree where a key lives.
+
+// score hashes one (host, key) pair. The FNV digest alone is not
+// enough: FNV-1a barely avalanches its trailing bytes, so short keys
+// ("a0" vs "b0") would produce near-identical host orderings and
+// funnel whole keyspaces onto one primary. The splitmix64 finalizer
+// diffuses every input bit across the word before comparison.
+func score(host, key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(host))
+	_, _ = h.Write([]byte{0}) // separate host from key so "ab"+"c" != "a"+"bc"
+	_, _ = h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer (Steele et al.), a bijective
+// avalanche over uint64.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rank returns hosts ordered by descending rendezvous score for key.
+// Ties (only possible with duplicate host strings) break on host order,
+// keeping the ranking total and deterministic.
+func rank(hosts []string, key string) []string {
+	type scored struct {
+		host string
+		s    uint64
+	}
+	ranked := make([]scored, len(hosts))
+	for i, h := range hosts {
+		ranked[i] = scored{host: h, s: score(h, key)}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].s > ranked[j].s })
+	out := make([]string, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.host
+	}
+	return out
+}

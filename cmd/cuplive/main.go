@@ -18,6 +18,7 @@ import (
 
 	"cup"
 	"cup/internal/overlay"
+	internalserve "cup/internal/serve"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 		hop       = flag.Duration("hop", time.Millisecond, "per-hop delay")
 		seed      = flag.Int64("seed", 1, "random seed")
 		telemetry = flag.String("telemetry", "", "serve /metrics, /trace, /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		serving   = flag.String("serving", "", "comma-separated addresses for the HTTP /v1 key API (shares listeners with -telemetry on matching addresses)")
 		serve     = flag.Duration("serve", 0, "keep serving telemetry this long after the workload (0 = exit immediately)")
 	)
 	flag.Parse()
@@ -44,6 +46,9 @@ func main() {
 	if *telemetry != "" {
 		opts = append(opts, cup.WithTelemetry(*telemetry))
 	}
+	if addrs := internalserve.SplitAddrs(*serving); len(addrs) > 0 {
+		opts = append(opts, cup.WithServing(addrs...))
+	}
 	d, err := cup.New(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cuplive:", err)
@@ -52,6 +57,9 @@ func main() {
 	defer d.Close()
 	if addr := d.TelemetryAddr(); addr != "" {
 		fmt.Printf("telemetry on http://%s (metrics, trace, pprof)\n", addr)
+	}
+	for _, a := range d.ServingAddrs() {
+		fmt.Printf("serving /v1 key API on http://%s\n", a)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)

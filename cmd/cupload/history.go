@@ -1,0 +1,57 @@
+// Bench history: -history appends the run's servingBench row to
+// BENCH_history.jsonl, stamped with the git commit, mirroring
+// cupbench's core rows so the serving-layer perf trajectory lives in
+// the same append-only log.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// historyRow is one line of BENCH_history.jsonl: the serving payload
+// plus provenance (commit, timestamp). The "serving" key keeps the rows
+// distinguishable from cupbench's "core" rows when grepping the log.
+type historyRow struct {
+	Commit  string       `json:"commit"`
+	Time    time.Time    `json:"time"`
+	Serving servingBench `json:"serving"`
+}
+
+// gitSHA resolves the commit to stamp: GITHUB_SHA in CI, a local
+// `git rev-parse` otherwise, "unknown" when neither is available.
+func gitSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// appendHistory appends one JSONL row to the history file.
+func appendHistory(bench servingBench, historyPath string, now time.Time) error {
+	row, err := json.Marshal(historyRow{Commit: gitSHA(), Time: now.UTC(), Serving: bench})
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(historyPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(row, '\n')); err != nil {
+		return err
+	}
+	fmt.Printf("appended serving row for %s to %s\n", gitSHA(), historyPath)
+	return nil
+}

@@ -79,6 +79,8 @@ type Deployment struct {
 	liveCfg live.Config
 	// tele is the WithTelemetry observability state (nil without it).
 	tele *telemetry
+	// serve is the WithServing HTTP serving layer (nil without it).
+	serve *serving
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -172,6 +174,15 @@ func New(opts ...Option) (*Deployment, error) {
 	}
 	if o.telemetry {
 		if err := d.initTelemetry(&o); err != nil {
+			_ = d.rt.Close()
+			return nil, err
+		}
+	}
+	if len(o.serving) > 0 {
+		if err := d.initServing(&o); err != nil {
+			if d.tele != nil && d.tele.srv != nil {
+				_ = d.tele.srv.Close()
+			}
 			_ = d.rt.Close()
 			return nil, err
 		}
@@ -565,6 +576,12 @@ func (d *Deployment) Close() error {
 	d.mu.Unlock()
 	for _, f := range detach {
 		f()
+	}
+	// Serving stops before the runtime: its handlers call into rt, and
+	// closing the listeners first turns in-flight requests into clean
+	// connection errors instead of ErrClosed races.
+	if d.serve != nil {
+		d.serve.close()
 	}
 	if d.tele != nil && d.tele.srv != nil {
 		_ = d.tele.srv.Close()

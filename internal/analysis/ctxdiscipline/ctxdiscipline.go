@@ -4,8 +4,10 @@
 // cancellation, so a saturated peer mailbox or an abandoned lookup can
 // never wedge a goroutine past its context.
 //
-// Scope: cup/internal/live, plus any file carrying //cup:ctxdiscipline.
-// Test files are exempt.
+// Scope: cup/internal/live and cup/internal/serve (the serving layer
+// holds request goroutines to the same contract: an HTTP handler or
+// its janitor must never block past cancellation), plus any file
+// carrying //cup:ctxdiscipline. Test files are exempt.
 //
 // Rules:
 //
@@ -31,13 +33,20 @@ import (
 // Analyzer is the ctxdiscipline pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxdiscipline",
-	Doc: "require blocking channel operations in internal/live to sit in a select " +
-		"with a cancellation case (ctx.Done() or a closed/done broadcast channel)",
+	Doc: "require blocking channel operations in internal/live and internal/serve to sit " +
+		"in a select with a cancellation case (ctx.Done() or a closed/done broadcast channel)",
 	Run: run,
 }
 
+// scopedPkgs are the packages the pass covers wholesale; other files
+// opt in with //cup:ctxdiscipline.
+var scopedPkgs = map[string]bool{
+	"cup/internal/live":  true,
+	"cup/internal/serve": true,
+}
+
 func run(pass *analysis.Pass) error {
-	inPkg := pass.PkgPath() == "cup/internal/live"
+	inPkg := scopedPkgs[pass.PkgPath()]
 	for _, f := range pass.Files {
 		if !inPkg && !pass.Directives.FileScope(f, analysis.DirCtxDiscipline) {
 			continue

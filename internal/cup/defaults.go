@@ -63,6 +63,55 @@ const (
 	// against this bound is scraped as cup_live_inbox_used /
 	// cup_live_inbox_capacity.
 	DefaultInboxDepth = 1024
+
+	// Serving-layer and smart-client defaults (internal/serve, client).
+	// They sit in this table, next to the paper parameters they guard,
+	// so the server's Retry-After arithmetic and the client's backoff
+	// cannot drift apart across packages.
+
+	// DefaultPromiseTTL is how long a granted population promise (the
+	// justcache 202 "you upload" lease) stays exclusive before the next
+	// POST /promise may claim the key. It is also the ceiling of the
+	// Retry-After a conflicting client receives with its 409. Grants and
+	// conflicts are counted as cup_serve_promises_total{outcome=...}.
+	DefaultPromiseTTL = 2 * time.Second
+	// DefaultServeQueryTimeout bounds one GET miss's journey through the
+	// CUP query path before the server answers 504. It must comfortably
+	// exceed the overlay's round trip (O(log n) hops × the hop delay) or
+	// cold keys on slow networks would time out instead of missing.
+	// Timed-out and answered GETs both land in
+	// cup_http_request_seconds{route="get"}.
+	DefaultServeQueryTimeout = 5 * time.Second
+	// DefaultAdmitRate bounds update-injecting requests (PUT, DELETE,
+	// POST /promise) admitted per second — the LOCKSS-style rate bound
+	// that keeps external load from swamping the propagation tree. Reads
+	// are not gated: CUP's query coalescing already bounds read-side
+	// tree load to one upstream query per key. Rejections appear as
+	// cup_serve_admission_rejected_total{reason="rate"}.
+	DefaultAdmitRate float64 = 4096
+	// DefaultAdmitBurst is the token-bucket depth over DefaultAdmitRate:
+	// the write burst a quiet server absorbs before 429s begin.
+	DefaultAdmitBurst = 1024
+	// DefaultShedThreshold is the live inbox occupancy fraction
+	// (cup_live_inbox_used / cup_live_inbox_capacity) above which the
+	// server sheds all /v1 traffic with 503 rather than queue more work
+	// onto saturated peer mailboxes. Sheds are counted as
+	// cup_serve_admission_rejected_total{reason="overload"}.
+	DefaultShedThreshold = 0.9
+	// DefaultClientFanout is the smart client's rendezvous fan-out N:
+	// the top-ranked host is the key's primary, the remaining N-1 are
+	// replicas (justcache's default N = 2).
+	DefaultClientFanout = 2
+	// DefaultClientRetries bounds one Get/GetOrFill's promise-wait loop:
+	// after this many 409-then-retry rounds the client reports ErrBusy
+	// instead of spinning on a wedged grantee.
+	DefaultClientRetries = 8
+	// DefaultClientBackoff is the base of the client's jittered
+	// exponential backoff between retry rounds; DefaultClientBackoffCap
+	// caps the doubling so a long outage retries steadily instead of
+	// sleeping for minutes.
+	DefaultClientBackoff    = 25 * time.Millisecond
+	DefaultClientBackoffCap = time.Second
 )
 
 // overlaySeedSalt decorrelates overlay construction from the workload's

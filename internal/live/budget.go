@@ -76,6 +76,16 @@ func releasePorts(n int) {
 	}
 }
 
+// AcquireListeners reserves n HTTP listeners (serving or telemetry
+// front ends) against the same process-wide budget the TCP runtime's
+// peer listeners draw from, so a fleet of deployments with serving
+// layers cannot overcommit the loopback range any more than a trial
+// sweep can.
+func AcquireListeners(n int) error { return acquirePorts(n) }
+
+// ReleaseListeners returns n HTTP listeners to the budget.
+func ReleaseListeners(n int) { releasePorts(n) }
+
 // PortsInUse reports listeners currently held against the budget
 // (diagnostics and tests).
 func PortsInUse() int {

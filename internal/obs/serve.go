@@ -12,12 +12,12 @@ import (
 	"cup/internal/overlay"
 )
 
-// Server exposes a registry and tracer over HTTP:
-//
-//	/metrics        Prometheus text exposition
-//	/trace          JSON list of traced keys
-//	/trace/{key}    JSON span tree for one key
-//	/debug/pprof/*  the standard Go profiling endpoints
+// Server owns one HTTP listener serving an arbitrary handler — the
+// deployment's one-listener-per-address building block. NewMux builds
+// the telemetry handler set; other subsystems (internal/serve's /v1
+// routes) mount onto the same mux, so one address exposes /metrics,
+// /trace, /debug/pprof, and /v1/* together instead of each feature
+// spinning a private server and fighting over ports.
 //
 // It binds eagerly (so ":0" callers can read the resolved Addr) and
 // serves on a background goroutine until Close.
@@ -26,13 +26,35 @@ type Server struct {
 	srv *http.Server
 }
 
-// NewServer starts serving reg and tracer (either may be nil, disabling
-// its endpoints) on addr. addr ":0" picks a free port.
-func NewServer(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+// Serve binds addr (":0" picks a free port) and serves h until Close.
+func Serve(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// NewServer starts serving reg and tracer (either may be nil, disabling
+// its endpoints) on addr. addr ":0" picks a free port. It is
+// Serve(addr, NewMux(reg, tracer)).
+func NewServer(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
+	return Serve(addr, NewMux(reg, tracer))
+}
+
+// NewMux builds the telemetry handler set:
+//
+//	/metrics        Prometheus text exposition
+//	/trace          JSON list of traced keys
+//	/trace/{key}    JSON span tree for one key
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// Either argument may be nil, disabling its endpoints. Callers may
+// register further routes on the returned mux before handing it to
+// Serve.
+func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	if reg != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -63,10 +85,7 @@ func NewServer(addr string, reg *Registry, tracer *Tracer) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
-	go func() { _ = s.srv.Serve(ln) }()
-	return s, nil
+	return mux
 }
 
 // Addr returns the bound address, e.g. "127.0.0.1:43117".

@@ -1,0 +1,64 @@
+// The admission bucket: a token bucket bounding how fast external
+// clients may inject work into the propagation tree (PUT, DELETE, and
+// promise grants). The LOCKSS peer-replication work motivates the
+// shape: a healthy replica network survives load spikes because every
+// admission path is rate-limited, not because peers are fast.
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a standard token bucket on a caller-supplied clock.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket depth
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64, now time.Time) *bucket {
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// refillLocked advances the bucket to now. Callers hold mu.
+func (b *bucket) refillLocked(now time.Time) {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// take draws one token. When the bucket is dry it reports false and the
+// wait until one token accrues — the 429's Retry-After.
+func (b *bucket) take(now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, b.waitLocked()
+}
+
+// wait reports the current wait for one token without drawing it.
+func (b *bucket) wait(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens >= 1 {
+		return 0
+	}
+	return b.waitLocked()
+}
+
+func (b *bucket) waitLocked() time.Duration {
+	need := 1 - b.tokens
+	return time.Duration(need / b.rate * float64(time.Second))
+}

@@ -1,0 +1,139 @@
+// The promise table: the justcache miss-coordination state machine.
+// One key is in one of three states — idle (anyone may claim the
+// population lease), granted (somebody is fetching from origin; until
+// the lease expires every other claimant is told to wait), or resolved
+// (a populate landed recently; claimants are told the key is present
+// and should simply GET it). Grants expire on their own, so a crashed
+// grantee stalls the key for at most one lease.
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// promiseVerdict is the outcome of one POST /promise.
+type promiseVerdict int
+
+const (
+	// promisePresent: the key was populated recently — just GET it.
+	promisePresent promiseVerdict = iota
+	// promiseGranted: the caller holds the population lease.
+	promiseGranted
+	// promiseBusy: another client holds the lease; wait Retry-After.
+	promiseBusy
+	// promiseThrottled: the admission bucket refused the grant.
+	promiseThrottled
+)
+
+func (v promiseVerdict) String() string {
+	switch v {
+	case promisePresent:
+		return "present"
+	case promiseGranted:
+		return "granted"
+	case promiseBusy:
+		return "busy"
+	default:
+		return "throttled"
+	}
+}
+
+// promiseState is one key's record.
+type promiseState struct {
+	// grantedUntil is the population lease's expiry (zero when idle).
+	grantedUntil time.Time
+	// resolvedUntil marks how long the key counts as freshly populated.
+	resolvedUntil time.Time
+}
+
+// promises is the table. All methods are safe for concurrent use; the
+// single mutex is what makes "exactly one 202 per storm" exact.
+type promises struct {
+	mu  sync.Mutex
+	m   map[string]*promiseState
+	ttl time.Duration
+	now func() time.Time
+}
+
+func newPromises(ttl time.Duration, now func() time.Time) *promises {
+	return &promises{m: make(map[string]*promiseState), ttl: ttl, now: now}
+}
+
+// request runs one claim. admit is consulted only when a grant would be
+// issued — the grant is the moment an origin fetch is admitted into the
+// system, so that is where the token is charged. The returned duration
+// is the lease: the fresh lease for a grant, the residual one for busy.
+func (p *promises) request(key string, admit func() bool) (promiseVerdict, time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	st := p.m[key]
+	if st == nil {
+		st = &promiseState{}
+		p.m[key] = st
+	}
+	if now.Before(st.resolvedUntil) {
+		return promisePresent, 0
+	}
+	if now.Before(st.grantedUntil) {
+		return promiseBusy, st.grantedUntil.Sub(now)
+	}
+	if !admit() {
+		return promiseThrottled, 0
+	}
+	st.grantedUntil = now.Add(p.ttl)
+	return promiseGranted, p.ttl
+}
+
+// resolve records a successful populate: the key counts as present for
+// valid (capped at the promise TTL so a stale table entry cannot mask a
+// later expiry forever — clients re-GET anyway), and any open lease is
+// released.
+func (p *promises) resolve(key string, valid time.Duration) {
+	if valid > p.ttl {
+		valid = p.ttl
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.m[key]
+	if st == nil {
+		st = &promiseState{}
+		p.m[key] = st
+	}
+	st.grantedUntil = time.Time{}
+	st.resolvedUntil = p.now().Add(valid)
+}
+
+// forget drops a key's record (on DELETE).
+func (p *promises) forget(key string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.m, key)
+}
+
+// open counts currently granted, unresolved leases (the gauge).
+func (p *promises) open() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	n := 0
+	for _, st := range p.m {
+		if now.Before(st.grantedUntil) {
+			n++
+		}
+	}
+	return n
+}
+
+// sweep drops records with no live lease and no live resolution.
+func (p *promises) sweep() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	for k, st := range p.m {
+		if !now.Before(st.grantedUntil) && !now.Before(st.resolvedUntil) {
+			delete(p.m, k)
+		}
+	}
+}

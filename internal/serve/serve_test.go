@@ -1,0 +1,504 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cup/internal/cache"
+	"cup/internal/obs"
+	"cup/internal/overlay"
+	"cup/internal/sim"
+)
+
+// fakeBackend is an in-memory Backend: a key→entries map plus knobs for
+// the load and clock signals the guards read.
+type fakeBackend struct {
+	mu      sync.Mutex
+	entries map[overlay.Key][]cache.Entry
+	lookups int
+	size    int
+	now     sim.Time
+	used    int
+	cap     int
+	lookErr error
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{entries: make(map[overlay.Key][]cache.Entry), size: 16}
+}
+
+func (f *fakeBackend) Size() int { return f.size }
+
+func (f *fakeBackend) Now() sim.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeBackend) LookupAt(ctx context.Context, at overlay.NodeID, key overlay.Key) ([]cache.Entry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lookups++
+	if f.lookErr != nil {
+		return nil, f.lookErr
+	}
+	return append([]cache.Entry(nil), f.entries[key]...), nil
+}
+
+func (f *fakeBackend) Publish(ctx context.Context, key overlay.Key, replica int, addr string, lifetime time.Duration) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.entries[key] = append(f.entries[key], cache.Entry{
+		Key: key, Replica: replica, Addr: addr,
+		Expires: f.now + sim.Time(lifetime.Seconds()),
+	})
+	return nil
+}
+
+func (f *fakeBackend) Unpublish(ctx context.Context, key overlay.Key, replica int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	kept := f.entries[key][:0]
+	for _, e := range f.entries[key] {
+		if e.Replica != replica {
+			kept = append(kept, e)
+		}
+	}
+	f.entries[key] = kept
+	return nil
+}
+
+func (f *fakeBackend) Load() (used, capacity int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.used, f.cap
+}
+
+// fakeClock is a manually advanced wall clock for the bucket and
+// promise tables.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newTestServer builds a Server over a fake backend and mounts it on an
+// httptest server.
+func newTestServer(t *testing.T, cfg Config) (*fakeBackend, *Server, *httptest.Server) {
+	t.Helper()
+	b := newFakeBackend()
+	cfg.Backend = b
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	mux := http.NewServeMux()
+	srv.Register(mux)
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return b, srv, hs
+}
+
+func TestEntryNodeDeterministicAndSpread(t *testing.T) {
+	if EntryNode("k", 16) != EntryNode("k", 16) {
+		t.Fatal("EntryNode is not deterministic")
+	}
+	seen := make(map[overlay.NodeID]bool)
+	for i := 0; i < 64; i++ {
+		seen[EntryNode(overlay.Key(fmt.Sprintf("key-%d", i)), 16)] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("EntryNode funnels 64 keys into %d of 16 nodes; want a spread", len(seen))
+	}
+	for i := 0; i < 64; i++ {
+		n := EntryNode(overlay.Key(fmt.Sprintf("key-%d", i)), 16)
+		if n < 0 || int(n) >= 16 {
+			t.Fatalf("EntryNode out of range: %v", n)
+		}
+	}
+}
+
+func TestGetHitMissAndTTL(t *testing.T) {
+	b, _, hs := newTestServer(t, Config{})
+	resp, err := http.Get(hs.URL + "/v1/key/k0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cold GET = %d, want 404", resp.StatusCode)
+	}
+
+	b.mu.Lock()
+	b.now = 10
+	b.entries["k0"] = []cache.Entry{{Key: "k0", Replica: 0, Addr: "a", Expires: 40}}
+	b.mu.Unlock()
+	resp, err = http.Get(hs.URL + "/v1/key/k0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm GET = %d, want 200", resp.StatusCode)
+	}
+	var got GetResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != "k0" || len(got.Entries) != 1 {
+		t.Fatalf("GetResponse = %+v", got)
+	}
+	if got.Entries[0].TTL != 30 {
+		t.Fatalf("TTL = %g, want 30 (Expires 40 - now 10)", got.Entries[0].TTL)
+	}
+}
+
+func TestPutPublishesAndResolvesPromise(t *testing.T) {
+	b, _, hs := newTestServer(t, Config{})
+	// Win the promise for the key first, so the PUT's resolve is visible.
+	resp, err := http.Post(hs.URL+"/v1/key/k1/promise", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first promise = %d, want 202", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(PutRequest{Replica: 0, Addr: "replica-a", TTL: 60})
+	req, _ := http.NewRequest(http.MethodPut, hs.URL+"/v1/key/k1", bytes.NewReader(body))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT = %d, want 204", resp.StatusCode)
+	}
+	b.mu.Lock()
+	n := len(b.entries["k1"])
+	b.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("backend has %d entries for k1, want 1", n)
+	}
+
+	// The resolved promise now answers "present" instead of a new grant.
+	resp, err = http.Post(hs.URL+"/v1/key/k1/promise", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-PUT promise = %d, want 200 present", resp.StatusCode)
+	}
+	var pr PromiseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Status != "present" {
+		t.Fatalf("promise status = %q, want present", pr.Status)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	_, _, hs := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"bad json": "{",
+		"no addr":  `{"replica":0,"ttl_s":5}`,
+		"zero ttl": `{"replica":0,"addr":"a"}`,
+		"neg repl": `{"replica":-1,"addr":"a","ttl_s":5}`,
+	} {
+		req, _ := http.NewRequest(http.MethodPut, hs.URL+"/v1/key/bad", bytes.NewReader([]byte(body)))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: PUT = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestDeleteUnpublishes(t *testing.T) {
+	b, _, hs := newTestServer(t, Config{})
+	b.mu.Lock()
+	b.entries["k2"] = []cache.Entry{{Key: "k2", Replica: 3, Addr: "a", Expires: 100}}
+	b.mu.Unlock()
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/key/k2?replica=3", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE = %d, want 204", resp.StatusCode)
+	}
+	b.mu.Lock()
+	n := len(b.entries["k2"])
+	b.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("backend still has %d entries for k2", n)
+	}
+
+	req, _ = http.NewRequest(http.MethodDelete, hs.URL+"/v1/key/k2", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("DELETE without replica = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPromiseStateMachine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	p := newPromises(2*time.Second, clk.now)
+
+	admit := func() bool { return true }
+	v, lease := p.request("k", admit)
+	if v != promiseGranted || lease != 2*time.Second {
+		t.Fatalf("first request = %v/%v, want granted/2s", v, lease)
+	}
+	// A second caller inside the lease window conflicts, with the
+	// residual lease as its Retry-After.
+	clk.advance(500 * time.Millisecond)
+	v, lease = p.request("k", admit)
+	if v != promiseBusy || lease != 1500*time.Millisecond {
+		t.Fatalf("conflicting request = %v/%v, want busy/1.5s", v, lease)
+	}
+	// The lease expires unresolved: the key is grantable again (the
+	// holder died; someone else may populate).
+	clk.advance(2 * time.Second)
+	if v, _ = p.request("k", admit); v != promiseGranted {
+		t.Fatalf("post-expiry request = %v, want granted", v)
+	}
+	// Resolving answers "present" until the populated TTL runs out.
+	p.resolve("k", 10*time.Second)
+	if v, _ = p.request("k", admit); v != promisePresent {
+		t.Fatalf("resolved request = %v, want present", v)
+	}
+	// resolve caps its memory at the promise TTL: long-lived entries are
+	// the GET path's business, not the promise table's.
+	clk.advance(3 * time.Second)
+	if v, _ = p.request("k", admit); v != promiseGranted {
+		t.Fatalf("request after capped resolve window = %v, want granted", v)
+	}
+	// A dry admission gate throttles instead of granting.
+	v, _ = p.request("k2", func() bool { return false })
+	if v != promiseThrottled {
+		t.Fatalf("throttled request = %v, want throttled", v)
+	}
+	// forget clears resolved state (the key was deleted).
+	p.resolve("k3", 10*time.Second)
+	p.forget("k3")
+	if v, _ = p.request("k3", admit); v != promiseGranted {
+		t.Fatalf("forgotten key request = %v, want granted", v)
+	}
+}
+
+func TestPromiseSweep(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	p := newPromises(time.Second, clk.now)
+	admit := func() bool { return true }
+	for i := 0; i < 8; i++ {
+		p.request(fmt.Sprintf("k%d", i), admit)
+	}
+	if got := p.open(); got != 8 {
+		t.Fatalf("open = %d, want 8", got)
+	}
+	clk.advance(5 * time.Second)
+	p.sweep()
+	if got := p.open(); got != 0 {
+		t.Fatalf("open after sweep = %d, want 0", got)
+	}
+	p.mu.Lock()
+	n := len(p.m)
+	p.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("sweep left %d records", n)
+	}
+}
+
+func TestBucket(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBucket(10, 2, clk.now()) // 10 tokens/s, burst 2
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(clk.now()); !ok {
+			t.Fatalf("burst take %d failed", i)
+		}
+	}
+	ok, wait := b.take(clk.now())
+	if ok {
+		t.Fatal("take from dry bucket succeeded")
+	}
+	if wait != 100*time.Millisecond {
+		t.Fatalf("dry wait = %v, want 100ms at 10 tokens/s", wait)
+	}
+	clk.advance(150 * time.Millisecond)
+	if ok, _ = b.take(clk.now()); !ok {
+		t.Fatal("take after refill failed")
+	}
+	// Refill caps at burst: a long idle period is not a license to spike.
+	clk.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ = b.take(clk.now()); !ok {
+			t.Fatalf("capped-burst take %d failed", i)
+		}
+	}
+	if ok, _ = b.take(clk.now()); ok {
+		t.Fatal("burst cap not enforced after idle hour")
+	}
+}
+
+func TestAdmissionGuardsOnRoutes(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	_, _, hs := newTestServer(t, Config{AdmitRate: 1, AdmitBurst: 1, now: clk.now})
+
+	put := func(key string) int {
+		body, _ := json.Marshal(PutRequest{Replica: 0, Addr: "a", TTL: 5})
+		req, _ := http.NewRequest(http.MethodPut, hs.URL+"/v1/key/"+key, bytes.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := put("a"); code != http.StatusNoContent {
+		t.Fatalf("first PUT = %d, want 204", code)
+	}
+	if code := put("b"); code != http.StatusTooManyRequests {
+		t.Fatalf("second PUT = %d, want 429 from the dry bucket", code)
+	}
+	// The promise route throttles grants through the same bucket.
+	resp, err := http.Post(hs.URL+"/v1/key/c/promise", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("promise with dry bucket = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" || resp.Header.Get("X-Retry-After-Ms") == "" {
+		t.Fatal("429 without Retry-After headers")
+	}
+	// Reads never draw from the bucket.
+	resp, err = http.Get(hs.URL + "/v1/key/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		t.Fatal("GET was rate-limited; reads must not draw admission tokens")
+	}
+}
+
+func TestShedOnInboxOccupancy(t *testing.T) {
+	b, _, hs := newTestServer(t, Config{})
+	b.mu.Lock()
+	b.used, b.cap = 95, 100 // over the default 0.9 threshold
+	b.mu.Unlock()
+	for _, probe := range []func() (*http.Response, error){
+		func() (*http.Response, error) { return http.Get(hs.URL + "/v1/key/x") },
+		func() (*http.Response, error) {
+			return http.Post(hs.URL+"/v1/key/x/promise", "application/json", nil)
+		},
+	} {
+		resp, err := probe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("overloaded request = %d, want 503", resp.StatusCode)
+		}
+	}
+	b.mu.Lock()
+	b.used = 10
+	b.mu.Unlock()
+	resp, err := http.Get(hs.URL + "/v1/key/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		t.Fatal("request shed below the occupancy threshold")
+	}
+}
+
+func TestServingMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	b, _, hs := newTestServer(t, Config{Registry: reg})
+	b.mu.Lock()
+	b.entries["k"] = []cache.Entry{{Key: "k", Replica: 0, Addr: "a", Expires: 100}}
+	b.mu.Unlock()
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(hs.URL + "/v1/key/k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(hs.URL + "/v1/key/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if v, ok := reg.Value(MetricHits); !ok || v != 3 {
+		t.Fatalf("%s = %g/%v, want 3", MetricHits, v, ok)
+	}
+	if v, ok := reg.Value(MetricMisses); !ok || v != 1 {
+		t.Fatalf("%s = %g/%v, want 1", MetricMisses, v, ok)
+	}
+	if v, ok := reg.Value(MetricHTTPRequests,
+		obs.Label{Key: "route", Value: "get"}, obs.Label{Key: "code", Value: "200"}); !ok || v != 3 {
+		t.Fatalf("%s{get,200} = %g/%v, want 3", MetricHTTPRequests, v, ok)
+	}
+	if v, ok := reg.Value(MetricHTTPLatency, obs.Label{Key: "route", Value: "get"}); !ok || v != 4 {
+		t.Fatalf("%s{get} samples = %g/%v, want 4", MetricHTTPLatency, v, ok)
+	}
+}
+
+func TestGetTimeoutMapsTo504(t *testing.T) {
+	b := newFakeBackend()
+	b.lookErr = context.DeadlineExceeded
+	srv, err := New(Config{Backend: b, QueryTimeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	mux := http.NewServeMux()
+	srv.Register(mux)
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/v1/key/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out GET = %d, want 504", resp.StatusCode)
+	}
+}

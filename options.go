@@ -59,6 +59,12 @@ type options struct {
 	// and /debug/pprof there.
 	telemetry     bool
 	telemetryAddr string
+	// serving lists the WithServing listen addresses for the HTTP
+	// serving layer (internal/serve); empty disables it. admitRate and
+	// admitBurst shape its write-path token bucket (WithAdmitRate).
+	serving    []string
+	admitRate  float64
+	admitBurst int
 	// errs collects option-level validation failures; New reports them
 	// all at once instead of building a broken deployment.
 	errs []error

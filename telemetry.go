@@ -95,7 +95,10 @@ func (d *Deployment) initTelemetry(o *options) error {
 			Set(float64(live.DefaultPortBudget))
 	}
 
-	if o.telemetryAddr != "" {
+	// When the telemetry address is also a serving address, initServing
+	// binds it once and serves /metrics, /trace, and /v1/* together;
+	// starting a second server here would lose the port race.
+	if o.telemetryAddr != "" && !addrClaimedByServing(o, o.telemetryAddr) {
 		srv, err := obs.NewServer(o.telemetryAddr, reg, t.tracer)
 		if err != nil {
 			return fmt.Errorf("cup: telemetry server: %w", err)
