@@ -120,6 +120,21 @@ func New(opts ...Option) (*Deployment, error) {
 	if o.p.QueryRate <= 0 {
 		o.reject("query rate %g must be positive", o.p.QueryRate)
 	}
+	if o.p.Shards > 1 {
+		// Sharding is the batch-mode scaling path: reject everything the
+		// conservative-window scheduler cannot honor, with errors rather
+		// than NewSimulation's panics.
+		switch {
+		case o.transport == Live:
+			o.reject("WithShards applies to the simulated transport only")
+		case o.p.Latency != nil:
+			o.reject("WithShards requires a homogeneous hop delay (drop WithLatencyModel: the lookahead is the minimum link delay)")
+		case len(o.p.Faults) > 0 || len(o.p.Hooks) > 0:
+			o.reject("WithShards does not support WithFaults or WithHooks (global interventions break shard isolation)")
+		case o.p.NoWorkload:
+			o.reject("WithShards is batch-only (WithoutWorkload and interactive lookups need the single-heap scheduler)")
+		}
+	}
 	if err := errors.Join(o.errs...); err != nil {
 		return nil, err
 	}
@@ -542,6 +557,18 @@ func (d *Deployment) Keys() []Key {
 	return nil
 }
 
+// EventsExecuted reports the discrete events the simulated transport
+// has fired so far (summed across scheduler shards); 0 on the live
+// transport, whose work has no event granularity.
+func (d *Deployment) EventsExecuted() uint64 {
+	if sr, ok := d.rt.(*simRuntime); ok {
+		sr.mu.Lock()
+		defer sr.mu.Unlock()
+		return sr.s.EventsExecuted()
+	}
+	return 0
+}
+
 // Now returns the deployment clock: virtual seconds on the simulator,
 // wall-clock seconds since boot on the live network (zero before the
 // lazily-booted network's first use).
@@ -550,7 +577,7 @@ func (d *Deployment) Now() sim.Time {
 	case *simRuntime:
 		rt.mu.Lock()
 		defer rt.mu.Unlock()
-		return rt.s.Sched.Now()
+		return rt.s.Now()
 	case *liveRuntime:
 		if n := rt.peek(); n != nil {
 			return n.Now()

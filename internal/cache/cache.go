@@ -34,25 +34,46 @@ func (e Entry) String() string {
 	return fmt.Sprintf("%s@replica%d(%s, exp %.2f)", e.Key, e.Replica, e.Addr, float64(e.Expires))
 }
 
-// Store holds index entries grouped by key, one entry per (key, replica).
-// The zero value is not usable; call NewStore.
+// Store holds index entries grouped by key as compact replica sets: one
+// slice per key, sorted by replica, one entry per (key, replica). The
+// replica-sorted representation makes every read deterministic without a
+// per-call sort, and keeps the per-key footprint one small slice instead
+// of a map — the difference between ~100 and ~350 bytes per touched key
+// at million-node scale. The zero value is an empty, usable store (the
+// struct-of-arrays node state keeps Stores by value and must not pay a
+// map allocation per untouched node).
 type Store struct {
-	byKey map[overlay.Key]map[int]Entry
+	byKey map[overlay.Key][]Entry
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty store. The map is allocated lazily on first
+// Put, so constructing a store is free.
 func NewStore() *Store {
-	return &Store{byKey: make(map[overlay.Key]map[int]Entry)}
+	return &Store{}
+}
+
+// find returns the position of replica in the sorted set es, or the
+// insertion point with ok=false.
+func find(es []Entry, replica int) (int, bool) {
+	i := sort.Search(len(es), func(i int) bool { return es[i].Replica >= replica })
+	return i, i < len(es) && es[i].Replica == replica
 }
 
 // Put inserts or replaces the entry for (e.Key, e.Replica).
 func (s *Store) Put(e Entry) {
-	m := s.byKey[e.Key]
-	if m == nil {
-		m = make(map[int]Entry)
-		s.byKey[e.Key] = m
+	if s.byKey == nil {
+		s.byKey = make(map[overlay.Key][]Entry)
 	}
-	m[e.Replica] = e
+	es := s.byKey[e.Key]
+	i, ok := find(es, e.Replica)
+	if ok {
+		es[i] = e
+		return
+	}
+	es = append(es, Entry{})
+	copy(es[i+1:], es[i:])
+	es[i] = e
+	s.byKey[e.Key] = es
 }
 
 // PutAll inserts every entry.
@@ -78,17 +99,16 @@ func (s *Store) ReplaceKey(k overlay.Key, es []Entry) {
 // Remove deletes the entry for (k, replica) if present, reporting whether
 // an entry was removed.
 func (s *Store) Remove(k overlay.Key, replica int) bool {
-	m := s.byKey[k]
-	if m == nil {
+	es := s.byKey[k]
+	i, ok := find(es, replica)
+	if !ok {
 		return false
 	}
-	if _, ok := m[replica]; !ok {
-		return false
-	}
-	delete(m, replica)
-	if len(m) == 0 {
+	if len(es) == 1 {
 		delete(s.byKey, k)
+		return true
 	}
+	s.byKey[k] = append(es[:i], es[i+1:]...)
 	return true
 }
 
@@ -101,41 +121,44 @@ func (s *Store) RemoveKey(k overlay.Key) int {
 
 // Get returns the entry for (k, replica).
 func (s *Store) Get(k overlay.Key, replica int) (Entry, bool) {
-	e, ok := s.byKey[k][replica]
-	return e, ok
+	es := s.byKey[k]
+	if i, ok := find(es, replica); ok {
+		return es[i], true
+	}
+	return Entry{}, false
 }
 
 // All returns every entry for k (fresh or stale), sorted by replica for
-// deterministic iteration. The slice is freshly allocated.
+// deterministic iteration. The slice is freshly allocated — callers ship
+// it in updates and must not alias the store's internal state.
 func (s *Store) All(k overlay.Key) []Entry {
-	m := s.byKey[k]
-	if len(m) == 0 {
+	es := s.byKey[k]
+	if len(es) == 0 {
 		return nil
 	}
-	out := make([]Entry, 0, len(m))
-	for _, e := range m {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Replica < out[j].Replica })
+	out := make([]Entry, len(es))
+	copy(out, es)
 	return out
 }
 
 // Fresh returns the fresh entries for k at time now, sorted by replica.
 func (s *Store) Fresh(k overlay.Key, now sim.Time) []Entry {
-	m := s.byKey[k]
-	if len(m) == 0 {
-		return nil
-	}
-	out := make([]Entry, 0, len(m))
-	for _, e := range m {
-		if e.Fresh(now) {
-			out = append(out, e)
+	es := s.byKey[k]
+	n := 0
+	for i := range es {
+		if es[i].Fresh(now) {
+			n++
 		}
 	}
-	if len(out) == 0 {
+	if n == 0 {
 		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Replica < out[j].Replica })
+	out := make([]Entry, 0, n)
+	for i := range es {
+		if es[i].Fresh(now) {
+			out = append(out, es[i])
+		}
+	}
 	return out
 }
 
@@ -170,15 +193,19 @@ func (s *Store) MaxExpiry(k overlay.Key) sim.Time {
 // protocol never relies on it because freshness is checked per access.
 func (s *Store) Expire(now sim.Time) int {
 	dropped := 0
-	for k, m := range s.byKey {
-		for r, e := range m {
-			if !e.Fresh(now) {
-				delete(m, r)
+	for k, es := range s.byKey {
+		keep := es[:0]
+		for _, e := range es {
+			if e.Fresh(now) {
+				keep = append(keep, e)
+			} else {
 				dropped++
 			}
 		}
-		if len(m) == 0 {
+		if len(keep) == 0 {
 			delete(s.byKey, k)
+		} else if len(keep) != len(es) {
+			s.byKey[k] = keep
 		}
 	}
 	return dropped
@@ -187,8 +214,8 @@ func (s *Store) Expire(now sim.Time) int {
 // Len returns the total number of entries.
 func (s *Store) Len() int {
 	n := 0
-	for _, m := range s.byKey {
-		n += len(m)
+	for _, es := range s.byKey {
+		n += len(es)
 	}
 	return n
 }

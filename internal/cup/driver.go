@@ -89,6 +89,20 @@ type Params struct {
 	// idle and is driven interactively through PublishReplica and Lookup,
 	// exactly like a live network. The façade's client API uses this.
 	NoWorkload bool
+	// DenseState backs node state with the struct-of-arrays arena
+	// (internal/cup.Arena) instead of per-node heap objects: identical
+	// behavior, a fraction of the memory and pointer traffic. Implied by
+	// Shards > 1; worth setting explicitly for big single-shard runs.
+	DenseState bool
+	// Shards > 1 partitions the node population into contiguous blocks,
+	// each driven by its own event heap under conservative time-window
+	// synchronization (lookahead = HopDelay, the minimum link delay).
+	// Sharded runs require the homogeneous-delay open-loop subset of the
+	// simulator: Latency, Hooks, Faults, NoWorkload, and interactive
+	// Lookup are rejected. Output is deterministic for a fixed shard
+	// count, but event interleaving — and so float accumulation order —
+	// differs from the single-heap schedule.
+	Shards int
 }
 
 // Hook is a scheduled intervention into a running simulation.
@@ -165,8 +179,12 @@ type Result struct {
 // with NewSimulation, then Run (or drive the scheduler manually for
 // fault-injection experiments).
 type Simulation struct {
-	P      Params
-	Sched  *sim.Scheduler
+	P Params
+	// Sched is the single event heap of an unsharded run; nil when Shd
+	// drives the run instead.
+	Sched *sim.Scheduler
+	// Shd is the sharded scheduler of a Shards > 1 run; nil otherwise.
+	Shd    *sim.Sharded
 	Rng    *sim.Rand
 	Ov     overlay.Overlay
 	Router *OverlayRouter
@@ -174,12 +192,123 @@ type Simulation struct {
 	Keys   []overlay.Key
 	C      metrics.Counters
 
+	// A backs the nodes when P.DenseState (nil for map-based nodes).
+	A *Arena
+	// Cs are the per-shard counter slabs of a sharded run, folded into C
+	// at the end; each shard's handlers touch only their own slab, so
+	// windows run without cross-shard write sharing.
+	Cs      []metrics.Counters
+	nshards int
+
 	keyPick func() overlay.Key
-	pending map[pendKey][]sim.Time
-	gates   map[overlay.NodeID]*refreshGate
-	held    map[linkKey][]*heldClearBit
+	// pending/gates/held are indexed by shard (one entry unsharded):
+	// every access happens on the owning node's shard by construction —
+	// deliveries run on the receiver's shard, timers on the acting
+	// node's — so windows touch disjoint maps.
+	pending []map[pendKey][]sim.Time
+	gates   []map[overlay.NodeID]*refreshGate
+	held    []map[linkKey][]*heldClearBit
 	lookups map[pendKey][]*lookupWaiter
 	endTime sim.Time
+}
+
+// shardOf maps a node to its contiguous shard block.
+func (s *Simulation) shardOf(n overlay.NodeID) int {
+	if s.nshards <= 1 {
+		return 0
+	}
+	return int(uint64(n) * uint64(s.nshards) / uint64(len(s.Nodes)))
+}
+
+// Now returns the run's current virtual time; in a sharded run, the
+// front of the synchronization window.
+func (s *Simulation) Now() sim.Time {
+	if s.Shd == nil {
+		return s.Sched.Now()
+	}
+	var max sim.Time
+	for i := 0; i < s.nshards; i++ {
+		if t := s.Shd.NowOf(i); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// nowAt returns the acting node's clock: its shard's scheduler time.
+func (s *Simulation) nowAt(n overlay.NodeID) sim.Time {
+	if s.Shd == nil {
+		return s.Sched.Now()
+	}
+	return s.Shd.NowOf(s.shardOf(n))
+}
+
+// ctr returns the counter slab node n's handlers account into.
+func (s *Simulation) ctr(n overlay.NodeID) *metrics.Counters {
+	if s.Shd == nil {
+		return &s.C
+	}
+	return &s.Cs[s.shardOf(n)]
+}
+
+// post schedules fn on to's shard after d of from-side delay — the
+// message-delivery primitive. Cross-shard sends stage at the window
+// barrier; the lookahead contract holds because d ≥ HopDelay.
+func (s *Simulation) post(from, to overlay.NodeID, d sim.Duration, fn func()) {
+	if s.Shd == nil {
+		s.Sched.After(d, fn)
+		return
+	}
+	fs := s.shardOf(from)
+	s.Shd.Post(fs, s.shardOf(to), s.Shd.NowOf(fs).Add(d), fn)
+}
+
+// postSelf schedules a timer on n's own shard (piggyback windows,
+// refresh-gate flushes): never crosses shards, so any delay is legal.
+func (s *Simulation) postSelf(n overlay.NodeID, d sim.Duration, fn func()) {
+	if s.Shd == nil {
+		s.Sched.After(d, fn)
+		return
+	}
+	sh := s.shardOf(n)
+	s.Shd.Post(sh, sh, s.Shd.NowOf(sh).Add(d), fn)
+}
+
+// atNode schedules fn at absolute time t on n's shard (setup-time
+// scheduling: replica births, refresh loops).
+func (s *Simulation) atNode(n overlay.NodeID, t sim.Time, fn func()) {
+	if s.Shd == nil {
+		s.Sched.At(t, fn)
+		return
+	}
+	sh := s.shardOf(n)
+	s.Shd.Post(sh, sh, t, fn)
+}
+
+// ShardCount reports the number of scheduler shards (1 when unsharded).
+func (s *Simulation) ShardCount() int {
+	if s.nshards < 1 {
+		return 1
+	}
+	return s.nshards
+}
+
+// ShardQueueDepth reports shard i's physical event-queue length — the
+// telemetry gauge behind cup_sim_shard_queue_depth.
+func (s *Simulation) ShardQueueDepth(i int) int {
+	if s.Shd == nil {
+		return s.Sched.QueueLen()
+	}
+	return s.Shd.QueueDepth(i)
+}
+
+// EventsExecuted reports the discrete events fired so far, summed across
+// shards when sharded.
+func (s *Simulation) EventsExecuted() uint64 {
+	if s.Shd == nil {
+		return s.Sched.Executed
+	}
+	return s.Shd.Executed()
 }
 
 // lookupWaiter captures the answer of one interactive Lookup.
@@ -206,14 +335,42 @@ type pendKey struct {
 // NewSimulation builds the overlay, nodes, replicas, workload, and hooks.
 func NewSimulation(p Params) *Simulation {
 	p = p.WithDefaults()
+	nsh := p.Shards
+	if nsh < 1 {
+		nsh = 1
+	}
+	if nsh > 1 {
+		p.DenseState = true
+		switch {
+		case p.Latency != nil:
+			panic("cup: sharded simulation requires homogeneous HopDelay (Latency must be nil: the lookahead is the minimum link delay)")
+		case len(p.Hooks) > 0 || len(p.Faults) > 0:
+			panic("cup: sharded simulation does not support Hooks or Faults (global interventions break shard isolation)")
+		case p.NoWorkload:
+			panic("cup: sharded simulation is batch-only (NoWorkload/interactive runs need the single-heap scheduler)")
+		case p.HopDelay <= 0:
+			panic("cup: sharded simulation requires positive HopDelay")
+		}
+	}
 	s := &Simulation{
 		P:       p,
-		Sched:   sim.NewScheduler(),
 		Rng:     sim.NewRand(p.Seed),
-		pending: make(map[pendKey][]sim.Time),
-		gates:   make(map[overlay.NodeID]*refreshGate),
-		held:    make(map[linkKey][]*heldClearBit),
+		nshards: nsh,
+		pending: make([]map[pendKey][]sim.Time, nsh),
+		gates:   make([]map[overlay.NodeID]*refreshGate, nsh),
+		held:    make([]map[linkKey][]*heldClearBit, nsh),
 		lookups: make(map[pendKey][]*lookupWaiter),
+	}
+	for i := 0; i < nsh; i++ {
+		s.pending[i] = make(map[pendKey][]sim.Time)
+		s.gates[i] = make(map[overlay.NodeID]*refreshGate)
+		s.held[i] = make(map[linkKey][]*heldClearBit)
+	}
+	if nsh > 1 {
+		s.Shd = sim.NewSharded(nsh, p.HopDelay)
+		s.Cs = make([]metrics.Counters, nsh)
+	} else {
+		s.Sched = sim.NewScheduler()
 	}
 	if s.P.PiggybackWindow == 0 {
 		s.P.PiggybackWindow = DefaultPiggybackWindow
@@ -225,9 +382,31 @@ func NewSimulation(p Params) *Simulation {
 	s.Ov = ov
 	s.Router = NewOverlayRouter(s.Ov)
 	s.Nodes = make([]*Node, p.Nodes)
-	for i := range s.Nodes {
-		s.Nodes[i] = NewNode(overlay.NodeID(i), p.Config, s.Router, s.Sched.Now)
-		s.Nodes[i].SetObserver(p.Observer)
+	if p.DenseState {
+		clock := s.Now
+		if s.Sched != nil {
+			clock = s.Sched.Now
+		}
+		s.A = NewArena(p.Nodes, p.Config, s.Router, clock)
+		if s.Shd != nil {
+			// Each shard's nodes read their own shard's clock.
+			for sh := 0; sh < nsh; sh++ {
+				lo := (sh*p.Nodes + nsh - 1) / nsh
+				hi := ((sh+1)*p.Nodes + nsh - 1) / nsh
+				s.A.SetClockRange(lo, hi, s.Shd.Shard(sh).Now)
+			}
+		}
+		if p.Observer != nil {
+			s.A.SetObserver(p.Observer)
+		}
+		for i := range s.Nodes {
+			s.Nodes[i] = s.A.Node(i)
+		}
+	} else {
+		for i := range s.Nodes {
+			s.Nodes[i] = NewNode(overlay.NodeID(i), p.Config, s.Router, s.Sched.Now)
+			s.Nodes[i].SetObserver(p.Observer)
+		}
 	}
 	s.Keys = make([]overlay.Key, p.Keys)
 	for i := range s.Keys {
@@ -239,12 +418,13 @@ func NewSimulation(p Params) *Simulation {
 	if !p.NoWorkload {
 		// Replica lifecycle: births staggered across one lifetime so
 		// refresh waves are not synchronized, then refresh-at-expiration
-		// loops.
+		// loops. Each birth is scheduled on the authority's shard.
 		for ki := range s.Keys {
+			auth := s.Ov.Owner(s.Keys[ki])
 			for r := 0; r < p.Replicas; r++ {
 				birth := sim.Time(sim.Duration(s.Rng.Float64()) * p.Lifetime)
 				ki, r := ki, r
-				s.Sched.At(birth, func() { s.AddReplica(s.Keys[ki], r) })
+				s.atNode(auth, birth, func() { s.AddReplica(s.Keys[ki], r) })
 			}
 		}
 
@@ -255,7 +435,11 @@ func NewSimulation(p Params) *Simulation {
 		if tr == nil {
 			tr = PoissonTraffic(p.QueryRate)
 		}
-		s.startTraffic(tr)
+		if s.Shd != nil {
+			s.preScheduleTraffic(tr)
+		} else {
+			s.startTraffic(tr)
+		}
 	}
 
 	for _, h := range p.Hooks {
@@ -321,6 +505,41 @@ func (s *Simulation) startTraffic(tr Traffic) {
 	arm()
 }
 
+// preScheduleTraffic materializes the whole traffic stream at
+// construction for a sharded run: each query event is scheduled on its
+// node's shard up front, so no generator state crosses shards mid-run.
+// The RNG draw order — next gap, then node/key resolution, per event —
+// is exactly the order startTraffic's lazy arming produces, so a sharded
+// run consumes the seed identically to the single-heap schedule.
+func (s *Simulation) preScheduleTraffic(tr Traffic) {
+	const maxPreDrawn = 1 << 27
+	st := tr.Stream(s.TrafficEnv())
+	prev := sim.Time(0)
+	for count := 0; ; count++ {
+		if count >= maxPreDrawn {
+			panic(fmt.Sprintf("cup: sharded traffic stream exceeded %d events (closed-loop or unbounded generators need the single-heap scheduler)", maxPreDrawn))
+		}
+		ev, ok := st.Next()
+		if !ok {
+			return
+		}
+		at := sim.Time(ev.At)
+		if at < prev {
+			at = prev // generators must not schedule into the past
+		}
+		prev = at
+		nid := ev.Node
+		if nid == AnyNode || int(nid) < 0 || int(nid) >= len(s.Nodes) {
+			nid = s.pickAliveNode()
+		}
+		k := ev.Key
+		if k == "" {
+			k = s.pickKey()
+		}
+		s.atNode(nid, at, func() { s.PostQueryAt(nid, k) })
+	}
+}
+
 // Authority returns the node owning k.
 func (s *Simulation) Authority(k overlay.Key) *Node {
 	return s.Nodes[s.Ov.Owner(k)]
@@ -330,8 +549,8 @@ func (s *Simulation) Authority(k overlay.Key) *Node {
 // refresh-at-expiration loop. The index entry's birth is announced as an
 // Append update (§2.4).
 func (s *Simulation) AddReplica(k overlay.Key, r int) {
-	now := s.Sched.Now()
 	auth := s.Authority(k)
+	now := s.nowAt(auth.ID())
 	e := cache.Entry{
 		Key:     k,
 		Replica: r,
@@ -341,7 +560,7 @@ func (s *Simulation) AddReplica(k overlay.Key, r int) {
 	auth.InstallLocal(e)
 	u := Update{Key: k, Type: Append, Entries: []cache.Entry{e}, Replica: r,
 		Expires: e.Expires, Lifetime: s.P.Lifetime}
-	s.C.UpdatesOriginated++
+	s.ctr(auth.ID()).UpdatesOriginated++
 	s.dispatch(auth.ID(), auth.OriginateUpdate(u))
 	s.scheduleRefresh(k, r, e.Expires)
 }
@@ -352,12 +571,12 @@ func (s *Simulation) scheduleRefresh(k overlay.Key, r int, at sim.Time) {
 	if at >= s.endTime {
 		return
 	}
-	s.Sched.At(at, func() {
+	s.atNode(s.Ov.Owner(k), at, func() {
 		auth := s.Authority(k)
 		if _, ok := auth.LocalDirectory().Get(k, r); !ok {
 			return // replica was deleted; stop refreshing
 		}
-		now := s.Sched.Now()
+		now := s.nowAt(auth.ID())
 		e := cache.Entry{
 			Key:     k,
 			Replica: r,
@@ -378,14 +597,15 @@ func (s *Simulation) emitRefresh(auth *Node, k overlay.Key, e cache.Entry) {
 		s.originateRefresh(auth, k, []cache.Entry{e})
 		return
 	}
-	g := s.gates[auth.ID()]
+	gates := s.gates[s.shardOf(auth.ID())]
+	g := gates[auth.ID()]
 	if g == nil {
 		g = newRefreshGate(s.P.RefreshPolicy)
-		s.gates[auth.ID()] = g
+		gates[auth.ID()] = g
 	}
 	release, flushIn := g.Offer(k, e, s.P.Replicas)
 	if flushIn > 0 {
-		s.Sched.After(flushIn, func() {
+		s.postSelf(auth.ID(), flushIn, func() {
 			if batch := g.Flush(k); len(batch) > 0 {
 				s.originateRefresh(auth, k, batch)
 			}
@@ -410,7 +630,7 @@ func (s *Simulation) originateRefresh(auth *Node, k overlay.Key, entries []cache
 	}
 	u := Update{Key: k, Type: Refresh, Entries: entries, Replica: minReplica,
 		Expires: expires, Lifetime: s.P.Lifetime}
-	s.C.UpdatesOriginated++
+	s.ctr(auth.ID()).UpdatesOriginated++
 	s.dispatch(auth.ID(), auth.OriginateUpdate(u))
 }
 
@@ -422,11 +642,11 @@ func (s *Simulation) originateRefresh(auth *Node, k overlay.Key, entries []cache
 func (s *Simulation) PublishReplica(k overlay.Key, replica int, addr string, lifetime sim.Duration, ty UpdateType) {
 	auth := s.Authority(k)
 	e := cache.Entry{Key: k, Replica: replica, Addr: addr,
-		Expires: s.Sched.Now().Add(lifetime)}
+		Expires: s.nowAt(auth.ID()).Add(lifetime)}
 	auth.InstallLocal(e)
 	u := Update{Key: k, Type: ty, Entries: []cache.Entry{e}, Replica: replica,
 		Expires: e.Expires, Lifetime: lifetime}
-	s.C.UpdatesOriginated++
+	s.ctr(auth.ID()).UpdatesOriginated++
 	s.dispatch(auth.ID(), auth.OriginateUpdate(u))
 }
 
@@ -435,6 +655,9 @@ func (s *Simulation) PublishReplica(k overlay.Key, replica int, addr string, lif
 // discrete-event counterpart of live.Network.Lookup. Any scripted
 // workload advances alongside on the virtual clock.
 func (s *Simulation) Lookup(ctx context.Context, nid overlay.NodeID, k overlay.Key) ([]cache.Entry, error) {
+	if s.Shd != nil {
+		return nil, fmt.Errorf("cup: interactive lookup requires the single-heap scheduler (Shards = 1)")
+	}
 	if int(nid) < 0 || int(nid) >= len(s.Nodes) || !s.NodeAlive(nid) {
 		return nil, fmt.Errorf("cup: lookup at invalid node %v", nid)
 	}
@@ -459,6 +682,9 @@ func (s *Simulation) Lookup(ctx context.Context, nid overlay.NodeID, k overlay.K
 // message delivered, every timer fired — checking ctx periodically. With
 // a scripted workload this executes the remainder of the schedule.
 func (s *Simulation) Settle(ctx context.Context) error {
+	if s.Shd != nil {
+		return s.Shd.RunUntil(sim.Infinity, ctx.Err)
+	}
 	for i := 0; ; i++ {
 		if i%4096 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -478,9 +704,9 @@ func (s *Simulation) RemoveReplica(k overlay.Key, r int) {
 	auth.RemoveLocal(k, r)
 	u := Update{
 		Key: k, Type: Delete, Replica: r,
-		Expires: s.Sched.Now().Add(s.P.Lifetime),
+		Expires: s.nowAt(auth.ID()).Add(s.P.Lifetime),
 	}
-	s.C.UpdatesOriginated++
+	s.ctr(auth.ID()).UpdatesOriginated++
 	s.dispatch(auth.ID(), auth.OriginateUpdate(u))
 }
 
@@ -497,20 +723,22 @@ func (s *Simulation) pickAliveNode() overlay.NodeID {
 // for hit/miss classification.
 func (s *Simulation) PostQueryAt(nid overlay.NodeID, k overlay.Key) {
 	node := s.Nodes[nid]
-	s.C.Queries++
+	c := s.ctr(nid)
+	c.Queries++
 	if node.HasFreshAnswer(k) {
-		s.C.Hits++
+		c.Hits++
 	} else {
 		if node.PendingFirstUpdate(k) {
-			s.C.Coalesced++
+			c.Coalesced++
 		}
 		if node.EverHeld(k) {
-			s.C.FreshnessMisses++
+			c.FreshnessMisses++
 		} else {
-			s.C.FirstTimeMisses++
+			c.FirstTimeMisses++
 		}
 		pk := pendKey{nid, k}
-		s.pending[pk] = append(s.pending[pk], s.Sched.Now())
+		pend := s.pending[s.shardOf(nid)]
+		pend[pk] = append(pend[pk], s.nowAt(nid))
 	}
 	s.dispatch(nid, node.HandleQuery(LocalClient, k, 0))
 }
@@ -528,16 +756,16 @@ func (s *Simulation) dispatch(from overlay.NodeID, acts []Action) {
 		switch a.Kind {
 		case ActSendQuery:
 			s.flushHeldClearBits(from, a.To)
-			s.Sched.After(s.delay(from, a.To), func() {
+			s.post(from, a.To, s.delay(from, a.To), func() {
 				if !s.NodeAlive(a.To) {
 					return // departed mid-flight; the client re-queries
 				}
-				s.C.QueryHops++
+				s.ctr(a.To).QueryHops++
 				s.dispatch(a.To, s.Nodes[a.To].HandleQuery(from, a.Key, a.QueryID))
 			})
 		case ActSendUpdate:
 			s.flushHeldClearBits(from, a.To)
-			s.Sched.After(s.delay(from, a.To), func() {
+			s.post(from, a.To, s.delay(from, a.To), func() {
 				if !s.NodeAlive(a.To) {
 					return
 				}
@@ -546,9 +774,9 @@ func (s *Simulation) dispatch(from overlay.NodeID, acts []Action) {
 				// specific query (standard caching) — is miss cost;
 				// anything else is propagation overhead.
 				if a.Update.QueryID != 0 || s.Nodes[a.To].PendingFirstUpdate(a.Key) {
-					s.C.ResponseHops++
+					s.ctr(a.To).ResponseHops++
 				} else {
-					s.C.UpdateHops++
+					s.ctr(a.To).UpdateHops++
 				}
 				s.dispatch(a.To, s.Nodes[a.To].HandleUpdate(from, a.Update))
 			})
@@ -557,11 +785,11 @@ func (s *Simulation) dispatch(from overlay.NodeID, acts []Action) {
 				s.holdClearBit(from, a.To, a.Key)
 				break
 			}
-			s.Sched.After(s.delay(from, a.To), func() {
+			s.post(from, a.To, s.delay(from, a.To), func() {
 				if !s.NodeAlive(a.To) {
 					return
 				}
-				s.C.ClearBitHops++
+				s.ctr(a.To).ClearBitHops++
 				s.dispatch(a.To, s.Nodes[a.To].HandleClearBit(from, a.Key))
 			})
 		case ActDeliverLocal:
@@ -578,14 +806,15 @@ func (s *Simulation) dispatch(from overlay.NodeID, acts []Action) {
 func (s *Simulation) holdClearBit(from, to overlay.NodeID, k overlay.Key) {
 	cb := &heldClearBit{key: k}
 	link := linkKey{from, to}
-	s.held[link] = append(s.held[link], cb)
-	s.Sched.After(s.P.PiggybackWindow, func() {
+	held := s.held[s.shardOf(from)]
+	held[link] = append(held[link], cb)
+	s.postSelf(from, s.P.PiggybackWindow, func() {
 		if cb.sent {
 			return
 		}
 		cb.sent = true
-		s.Sched.After(s.delay(from, to), func() {
-			s.C.ClearBitHops++
+		s.post(from, to, s.delay(from, to), func() {
+			s.ctr(to).ClearBitHops++
 			s.dispatch(to, s.Nodes[to].HandleClearBit(from, k))
 		})
 	})
@@ -595,19 +824,20 @@ func (s *Simulation) holdClearBit(from, to overlay.NodeID, k overlay.Key) {
 // the same link: they arrive with the carrier at zero hop cost.
 func (s *Simulation) flushHeldClearBits(from, to overlay.NodeID) {
 	link := linkKey{from, to}
-	bits := s.held[link]
+	held := s.held[s.shardOf(from)]
+	bits := held[link]
 	if len(bits) == 0 {
 		return
 	}
-	delete(s.held, link)
+	delete(held, link)
 	for _, cb := range bits {
 		if cb.sent {
 			continue
 		}
 		cb.sent = true
 		k := cb.key
-		s.C.PiggybackedClearBits++
-		s.Sched.After(s.delay(from, to), func() {
+		s.ctr(from).PiggybackedClearBits++
+		s.post(from, to, s.delay(from, to), func() {
 			s.dispatch(to, s.Nodes[to].HandleClearBit(from, k))
 		})
 	}
@@ -616,12 +846,14 @@ func (s *Simulation) flushHeldClearBits(from, to overlay.NodeID) {
 // deliverLocal resolves the open local client connections at node nid.
 func (s *Simulation) deliverLocal(nid overlay.NodeID, k overlay.Key, entries []cache.Entry) {
 	pk := pendKey{nid, k}
-	now := s.Sched.Now()
-	for _, t0 := range s.pending[pk] {
-		s.C.MissLatencyTotal += float64(now.Sub(t0))
-		s.C.MissesServed++
+	now := s.nowAt(nid)
+	pend := s.pending[s.shardOf(nid)]
+	c := s.ctr(nid)
+	for _, t0 := range pend[pk] {
+		c.MissLatencyTotal += float64(now.Sub(t0))
+		c.MissesServed++
 	}
-	delete(s.pending, pk)
+	delete(pend, pk)
 	for _, w := range s.lookups[pk] {
 		w.done = true
 		w.entries = entries
@@ -660,6 +892,13 @@ func (s *Simulation) Run() *Result {
 // checking ctx between batches of events, and returns the aggregated
 // result.
 func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
+	if s.Shd != nil {
+		if err := s.Shd.RunUntil(s.endTime, func() error { return ctx.Err() }); err != nil {
+			return nil, err
+		}
+		s.foldCounters()
+		return &Result{Params: s.P, Counters: s.C}, nil
+	}
 	const batch = 8192
 	for {
 		if err := ctx.Err(); err != nil {
@@ -680,9 +919,20 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 		}
 	}
 	s.Sched.AdvanceTo(s.endTime)
-	// Updates still awaiting their justification window at the end of the
-	// run are censored observations, not failures; they stay unclassified
-	// (callers wanting strict accounting may SettleJustification first).
+	s.foldCounters()
+	return &Result{Params: s.P, Counters: s.C}, nil
+}
+
+// foldCounters folds per-shard counters (shard order) and per-node
+// justification stats (node order) into the aggregate s.C. Updates still
+// awaiting their justification window at the end of the run are censored
+// observations, not failures; they stay unclassified (callers wanting
+// strict accounting may SettleJustification first).
+func (s *Simulation) foldCounters() {
+	for i := range s.Cs {
+		s.C.Add(&s.Cs[i])
+		s.Cs[i] = metrics.Counters{}
+	}
 	for _, n := range s.Nodes {
 		st := n.Stats()
 		s.C.JustifiedUpdates += st.Justified
@@ -690,7 +940,6 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 		s.C.ExpiredUpdates += st.Expired
 		s.C.UpdatesDropped += st.Dropped
 	}
-	return &Result{Params: s.P, Counters: s.C}, nil
 }
 
 // Run builds and runs a simulation in one call.

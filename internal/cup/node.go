@@ -2,7 +2,6 @@ package cup
 
 import (
 	"fmt"
-	"sort"
 
 	"cup/internal/cache"
 	"cup/internal/overlay"
@@ -14,23 +13,101 @@ import (
 // attached directly to a node.
 const LocalClient = overlay.NoNode
 
+// nodeSet is a compact sorted set of neighbor IDs — the representation of
+// the paper's per-key bit vectors. Neighbor sets are small (CAN ~2d,
+// Chord/Kademlia ~log n), so a sorted slice beats a map on both footprint
+// (~100 bytes per key at million-node scale instead of one map header +
+// buckets per vector) and iteration: walking the slice IS the
+// deterministic ascending order that the map representation had to
+// re-sort into on every push.
+type nodeSet []overlay.NodeID
+
+// search returns the position of id, or its insertion point.
+func (s nodeSet) search(id overlay.NodeID) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (s nodeSet) has(id overlay.NodeID) bool {
+	i := s.search(id)
+	return i < len(s) && s[i] == id
+}
+
+func (s *nodeSet) add(id overlay.NodeID) {
+	v := *s
+	i := v.search(id)
+	if i < len(v) && v[i] == id {
+		return
+	}
+	v = append(v, 0)
+	copy(v[i+1:], v[i:])
+	v[i] = id
+	*s = v
+}
+
+func (s *nodeSet) remove(id overlay.NodeID) {
+	v := *s
+	i := v.search(id)
+	if i == len(v) || v[i] != id {
+		return
+	}
+	*s = append(v[:i], v[i+1:]...)
+}
+
+// intersect drops every member not present in alive, in place.
+func (s *nodeSet) intersect(alive nodeSet) {
+	v := *s
+	keep := v[:0]
+	for _, m := range v {
+		if alive.has(m) {
+			keep = append(keep, m)
+		}
+	}
+	*s = keep
+}
+
+// routeEntry records one outstanding standard-caching query: the token it
+// travels under, the neighbor (or LocalClient) its response must retrace
+// to, and — for locally issued queries — when the client posted it, so
+// the answer latency is exact even when several local queries for one key
+// overlap (each query keys its own issue time on its token).
+type routeEntry struct {
+	qid      uint64
+	dest     overlay.NodeID
+	issuedAt sim.Time
+}
+
 // keyState is the per-key bookkeeping of §2.3: the Pending-First-Update
 // flag, the interest bit vector, and the popularity measure.
 type keyState struct {
 	// pfu is the Pending-First-Update flag: set while a query for the key
 	// is in flight upstream; coalesces further queries.
 	pfu bool
+	// everHeld marks that entries for the key existed at some point, to
+	// classify freshness vs first-time misses.
+	everHeld bool
+	// justifyPending/justifyDeadline track the most recent proactive
+	// update applied here, for §3.1 justified-update accounting.
+	justifyPending bool
 	// pendingLocal counts open local client connections awaiting an answer.
 	pendingLocal int
 	// pendingChildren are neighbors whose forwarded query awaits our
 	// response (transient, distinct from long-term interest).
-	pendingChildren map[overlay.NodeID]struct{}
+	pendingChildren nodeSet
 	// interest is the interest bit vector: neighbors to push updates to.
-	interest map[overlay.NodeID]struct{}
-	// routeBack maps outstanding per-query IDs to the neighbor (or
-	// LocalClient) the response must retrace to — standard caching's
-	// open connections. Unused in CUP mode, where coalescing replaces it.
-	routeBack map[uint64]overlay.NodeID
+	interest nodeSet
+	// routeBack holds the outstanding per-query tokens and the neighbor
+	// each response must retrace to — standard caching's open
+	// connections. Unused in CUP mode, where coalescing replaces it.
+	routeBack []routeEntry
 	// queries counts queries received since the last popularity reset —
 	// the paper's popularity measure.
 	queries int
@@ -40,19 +117,12 @@ type keyState struct {
 	// inst is this key's cut-off policy state.
 	inst policy.Instance
 	// dist is the node's last-observed hop distance from the authority.
-	dist int
-	// everHeld marks that entries for the key existed at some point, to
-	// classify freshness vs first-time misses.
-	everHeld bool
-	// justifyPending/justifyDeadline/justifySeq track the most recent
-	// proactive update applied here, for §3.1 justified-update accounting.
-	justifyPending  bool
+	dist            int
 	justifyDeadline sim.Time
 	// issuedAt records when the oldest still-waiting local client query
-	// was posted, so EvQueryAnswered can carry the answer latency. Under
-	// standard caching (per-query connections, no coalescing) it tracks
-	// the most recent local issue — an approximation when several local
-	// queries for one key overlap.
+	// was posted, so EvQueryAnswered can carry the answer latency under
+	// CUP coalescing. Standard caching keys issue times per query on the
+	// routeBack entry instead.
 	issuedAt sim.Time
 }
 
@@ -65,13 +135,26 @@ type NodeStats struct {
 	Dropped     uint64 // proactive pushes suppressed by capacity limits
 }
 
-// Node is the CUP protocol state machine for one peer. It is not safe for
-// concurrent use; the live runtime serializes access per node.
-type Node struct {
-	id     overlay.NodeID
+// nodeEnv is the configuration shared by every node of one deployment:
+// split out of Node so the struct-of-arrays arena stores it once instead
+// of per node.
+type nodeEnv struct {
 	cfg    Config
 	router Router
-	now    func() sim.Time
+}
+
+// Node is the CUP protocol state machine for one peer. It is not safe for
+// concurrent use; the live runtime serializes access per node.
+//
+// Nodes come in two storage flavors with identical behavior: standalone
+// (NewNode — per-key state in a private map, used by the live transport
+// and tests) and arena-backed (NewArena — per-key state in the arena's
+// struct-of-arrays pool, dense uint32 handles, used by the simulator at
+// scale). The pointer-based API is the same thin view over both.
+type Node struct {
+	id  overlay.NodeID
+	env *nodeEnv
+	now func() sim.Time
 	// obs, when set, receives the protocol-level event stream (query
 	// issued/answered, update pushed, cut-off fired). Both transports
 	// install the same observer type, so event streams are comparable
@@ -85,7 +168,12 @@ type Node struct {
 	// store by construction (authorities never cache their own keys).
 	local *cache.Store
 
-	keys   map[overlay.Key]*keyState
+	// keys backs per-key state for standalone nodes; nil when a (the
+	// arena) owns the state, with slot the node's dense handle.
+	keys map[overlay.Key]*keyState
+	a    *Arena
+	slot uint32
+
 	stats  NodeStats
 	qidSeq uint64
 
@@ -96,8 +184,8 @@ type Node struct {
 	capacityCredit   float64
 }
 
-// NewNode constructs a node. now supplies virtual (or real) time; router
-// resolves upstream next hops.
+// NewNode constructs a standalone node. now supplies virtual (or real)
+// time; router resolves upstream next hops.
 func NewNode(id overlay.NodeID, cfg Config, router Router, now func() sim.Time) *Node {
 	if cfg.Policy == nil {
 		panic("cup: Config.Policy must be set (use Defaults())")
@@ -107,8 +195,7 @@ func NewNode(id overlay.NodeID, cfg Config, router Router, now func() sim.Time) 
 	}
 	return &Node{
 		id:               id,
-		cfg:              cfg,
-		router:           router,
+		env:              &nodeEnv{cfg: cfg, router: router},
 		now:              now,
 		store:            cache.NewStore(),
 		local:            cache.NewStore(),
@@ -139,7 +226,7 @@ func (n *Node) emit(e Event) {
 func (n *Node) Stats() NodeStats { return n.stats }
 
 // Config returns the node's configuration.
-func (n *Node) Config() Config { return n.cfg }
+func (n *Node) Config() Config { return n.env.cfg }
 
 // SetCapacity sets the outgoing update capacity as a fraction of received
 // updates (0 ≤ c ≤ 1); negative restores full capacity.
@@ -155,18 +242,40 @@ func (n *Node) Capacity() float64 { return n.capacityFraction }
 
 // state returns (allocating if needed) the bookkeeping for k.
 func (n *Node) state(k overlay.Key) *keyState {
+	if n.a != nil {
+		return n.a.state(n.slot, k)
+	}
 	ks := n.keys[k]
 	if ks == nil {
 		ks = &keyState{
-			pendingChildren: make(map[overlay.NodeID]struct{}),
-			interest:        make(map[overlay.NodeID]struct{}),
-			watchReplica:    -1,
-			inst:            n.cfg.Policy.New(),
-			dist:            -1,
+			watchReplica: -1,
+			inst:         n.env.cfg.Policy.New(),
+			dist:         -1,
 		}
 		n.keys[k] = ks
 	}
 	return ks
+}
+
+// peek returns the bookkeeping for k without allocating, or nil.
+func (n *Node) peek(k overlay.Key) *keyState {
+	if n.a != nil {
+		return n.a.peek(n.slot, k)
+	}
+	return n.keys[k]
+}
+
+// eachState visits every key's bookkeeping (order unspecified; callers
+// must not depend on it for observable output).
+func (n *Node) eachState(fn func(*keyState)) {
+	if n.a != nil {
+		n.a.each(n.slot, fn)
+		return
+	}
+	//cup:unordered callers commute across keys (per-key set filtering and commutative stat increments)
+	for _, ks := range n.keys {
+		fn(ks)
+	}
 }
 
 // InstallLocal installs an index entry into the local index directory;
@@ -185,7 +294,7 @@ func (n *Node) CacheStore() *cache.Store { return n.store }
 // IsAuthority reports whether the node owns k's index entries. A node is
 // an authority exactly when routing terminates at it.
 func (n *Node) IsAuthority(k overlay.Key) bool {
-	return n.router.NextHopTowardOwner(n.id, k) == n.id
+	return n.env.router.NextHopTowardOwner(n.id, k) == n.id
 }
 
 // HasFreshAnswer reports whether a local query for k would hit instantly.
@@ -198,20 +307,20 @@ func (n *Node) HasFreshAnswer(k overlay.Key) bool {
 
 // PendingFirstUpdate reports the PFU flag for k.
 func (n *Node) PendingFirstUpdate(k overlay.Key) bool {
-	ks := n.keys[k]
+	ks := n.peek(k)
 	return ks != nil && ks.pfu
 }
 
 // EverHeld reports whether the node ever cached entries for k (used to
 // classify freshness vs first-time misses).
 func (n *Node) EverHeld(k overlay.Key) bool {
-	ks := n.keys[k]
+	ks := n.peek(k)
 	return ks != nil && ks.everHeld
 }
 
 // Popularity returns the queries-since-last-update measure for k.
 func (n *Node) Popularity(k overlay.Key) int {
-	ks := n.keys[k]
+	ks := n.peek(k)
 	if ks == nil {
 		return 0
 	}
@@ -221,15 +330,12 @@ func (n *Node) Popularity(k overlay.Key) int {
 // InterestedNeighbors returns the neighbors whose interest bit for k is
 // set, sorted for determinism.
 func (n *Node) InterestedNeighbors(k overlay.Key) []overlay.NodeID {
-	ks := n.keys[k]
-	if ks == nil {
+	ks := n.peek(k)
+	if ks == nil || len(ks.interest) == 0 {
 		return nil
 	}
-	out := make([]overlay.NodeID, 0, len(ks.interest))
-	for m := range ks.interest {
-		out = append(out, m)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]overlay.NodeID, len(ks.interest))
+	copy(out, ks.interest)
 	return out
 }
 
@@ -239,7 +345,7 @@ func (n *Node) Distance(k overlay.Key) int {
 	if n.IsAuthority(k) {
 		return 0
 	}
-	ks := n.keys[k]
+	ks := n.peek(k)
 	if ks == nil {
 		return -1
 	}
@@ -276,8 +382,8 @@ func (n *Node) HandleQuery(from overlay.NodeID, k overlay.Key, qid uint64) []Act
 
 	// Interest registration: CUP nodes remember which neighbors want
 	// updates for k, in every case of §2.5.
-	if from != LocalClient && n.cfg.Mode == ModeCUP {
-		ks.interest[from] = struct{}{}
+	if from != LocalClient && n.env.cfg.Mode == ModeCUP {
+		ks.interest.add(from)
 	}
 
 	// Case 1a: we are the authority — answer from the local directory.
@@ -290,13 +396,13 @@ func (n *Node) HandleQuery(from overlay.NodeID, k overlay.Key, qid uint64) []Act
 	// (client-side TTL caching); intermediate nodes never answer others'
 	// queries — maintaining answer-capable intermediate caches is
 	// precisely CUP's contribution.
-	if n.cfg.Mode == ModeCUP || from == LocalClient {
+	if n.env.cfg.Mode == ModeCUP || from == LocalClient {
 		if fresh := n.store.Fresh(k, now); fresh != nil {
 			return n.answer(ks, from, k, fresh, qid)
 		}
 	}
 
-	next := n.router.NextHopTowardOwner(n.id, k)
+	next := n.env.router.NextHopTowardOwner(n.id, k)
 	if next == n.id {
 		panic(fmt.Sprintf("cup: %v authority reached non-authority path for %q", n.id, k))
 	}
@@ -304,18 +410,12 @@ func (n *Node) HandleQuery(from overlay.NodeID, k overlay.Key, qid uint64) []Act
 	// Standard caching: no coalescing — every query travels individually
 	// and keeps a per-query "open connection" for its response (§4's
 	// open-connection problem, which CUP's query channel eliminates).
-	if n.cfg.Mode == ModeStandard {
+	if n.env.cfg.Mode == ModeStandard {
 		if qid == 0 {
 			n.qidSeq++
 			qid = uint64(uint32(n.id+1))<<32 | n.qidSeq
 		}
-		if ks.routeBack == nil {
-			ks.routeBack = make(map[uint64]overlay.NodeID)
-		}
-		if from == LocalClient {
-			ks.issuedAt = now
-		}
-		ks.routeBack[qid] = from
+		ks.routeBack = append(ks.routeBack, routeEntry{qid: qid, dest: from, issuedAt: now})
 		return []Action{{Kind: ActSendQuery, To: next, Key: k, QueryID: qid}}
 	}
 
@@ -326,7 +426,7 @@ func (n *Node) HandleQuery(from overlay.NodeID, k overlay.Key, qid uint64) []Act
 		}
 		ks.pendingLocal++
 	} else {
-		ks.pendingChildren[from] = struct{}{}
+		ks.pendingChildren.add(from)
 	}
 	if ks.pfu {
 		// Coalesced into the in-flight query. Peer carries the querier so
@@ -367,25 +467,32 @@ func (n *Node) answer(ks *keyState, from overlay.NodeID, k overlay.Key, entries 
 // TTL caching with remaining lifetime), intermediates pass it through.
 func (n *Node) handleDirectResponse(u Update) []Action {
 	ks := n.state(u.Key)
-	dest, ok := ks.routeBack[u.QueryID]
-	if !ok {
+	idx := -1
+	for i := range ks.routeBack {
+		if ks.routeBack[i].qid == u.QueryID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
 		return nil // duplicate or forgotten query token
 	}
-	delete(ks.routeBack, u.QueryID)
+	re := ks.routeBack[idx]
+	ks.routeBack = append(ks.routeBack[:idx], ks.routeBack[idx+1:]...)
 	ks.dist = u.Depth
 	fresh := freshOf(u.Entries, n.now())
-	if dest == LocalClient {
+	if re.dest == LocalClient {
 		if fresh != nil {
 			n.apply(ks, Update{Key: u.Key, Type: FirstTime, Entries: fresh})
 		}
 		n.emit(Event{Kind: EvQueryAnswered, Peer: LocalClient, Key: u.Key,
-			Entries: len(fresh), Latency: n.now().Sub(ks.issuedAt)})
+			Entries: len(fresh), Latency: n.now().Sub(re.issuedAt)})
 		return []Action{{Kind: ActDeliverLocal, Key: u.Key, Entries: fresh}}
 	}
 	fwd := u
 	fwd.Depth = u.Depth + 1
 	fwd.Entries = fresh
-	return []Action{{Kind: ActSendUpdate, To: dest, Key: u.Key, Update: fwd}}
+	return []Action{{Kind: ActSendUpdate, To: re.dest, Key: u.Key, Update: fwd}}
 }
 
 // freshOf filters a response payload down to still-fresh entries for
@@ -421,7 +528,7 @@ func (n *Node) OriginateUpdate(u Update) []Action {
 	if !n.IsAuthority(u.Key) {
 		panic(fmt.Sprintf("cup: %v originating update for foreign key %q", n.id, u.Key))
 	}
-	if n.cfg.Mode != ModeCUP {
+	if n.env.cfg.Mode != ModeCUP {
 		return nil // standard caching never propagates
 	}
 	ks := n.state(u.Key)
@@ -458,7 +565,7 @@ func (n *Node) HandleUpdate(from overlay.NodeID, u Update) []Action {
 		// role (§3.3): pure forwarders beyond the push level — and all
 		// forwarders under standard caching — pass the response through
 		// without building a cache entry.
-		if n.cfg.CachesAtDepth(u.Depth, ks.pendingLocal > 0) {
+		if n.env.cfg.CachesAtDepth(u.Depth, ks.pendingLocal > 0) {
 			n.apply(ks, u)
 			n.resetPopularity(ks, u)
 			ks.dist = u.Depth
@@ -519,24 +626,17 @@ func (n *Node) respondPending(ks *keyState, u Update, entries []cache.Entry) []A
 		Expires: maxExpiry(entries),
 	}
 	// Pending children get the response unconditionally (it is their
-	// query's answer — miss cost, exempt from capacity limits).
-	children := make([]overlay.NodeID, 0, len(ks.pendingChildren))
-	for m := range ks.pendingChildren {
-		children = append(children, m)
-	}
-	sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+	// query's answer — miss cost, exempt from capacity limits). The set
+	// is already sorted ascending, so the fan-out is deterministic.
+	children := ks.pendingChildren
 	for _, m := range children {
 		acts = append(acts, Action{Kind: ActSendUpdate, To: m, Key: u.Key, Update: resp})
-		delete(ks.pendingChildren, m)
 	}
+	ks.pendingChildren = children[:0]
 	// Interested-but-not-pending neighbors get a proactive push of the
 	// same fresh set, subject to push level and capacity.
-	if n.cfg.Mode == ModeCUP && entries != nil {
-		prev := map[overlay.NodeID]struct{}{}
-		for _, m := range children {
-			prev[m] = struct{}{}
-		}
-		proactive := n.pushProactiveExcept(ks, resp, u.Depth, prev)
+	if n.env.cfg.Mode == ModeCUP && entries != nil {
+		proactive := n.pushProactiveExcept(ks, resp, u.Depth, children)
 		acts = append(acts, proactive...)
 	}
 	return acts
@@ -545,7 +645,7 @@ func (n *Node) respondPending(ks *keyState, u Update, entries []cache.Entry) []A
 // shouldEvaluate reports whether this update triggers the cut-off decision
 // and popularity reset.
 func (n *Node) shouldEvaluate(ks *keyState, u Update) bool {
-	if !n.cfg.ReplicaIndependentCutoff {
+	if !n.env.cfg.ReplicaIndependentCutoff {
 		return true // naive: every update triggers (§3.6's buggy variant)
 	}
 	if u.Replica < 0 {
@@ -621,12 +721,12 @@ func (n *Node) pushProactive(ks *keyState, u Update, senderDepth int) []Action {
 	return n.pushProactiveExcept(ks, u, senderDepth, nil)
 }
 
-func (n *Node) pushProactiveExcept(ks *keyState, u Update, senderDepth int, except map[overlay.NodeID]struct{}) []Action {
+func (n *Node) pushProactiveExcept(ks *keyState, u Update, senderDepth int, except nodeSet) []Action {
 	if len(ks.interest) == 0 {
 		return nil
 	}
 	// Sender-side push level (§3.3): do not propagate beyond level p.
-	if n.cfg.PushLevel >= 0 && senderDepth+1 > n.cfg.PushLevel {
+	if n.env.cfg.PushLevel >= 0 && senderDepth+1 > n.env.cfg.PushLevel {
 		return nil
 	}
 	// Outgoing capacity (§3.7): a node at reduced capacity c forwards only
@@ -640,20 +740,15 @@ func (n *Node) pushProactiveExcept(ks *keyState, u Update, senderDepth int, exce
 		}
 		n.capacityCredit--
 	}
-	targets := make([]overlay.NodeID, 0, len(ks.interest))
-	for m := range ks.interest {
-		if except != nil {
-			if _, dup := except[m]; dup {
-				continue
-			}
-		}
-		targets = append(targets, m)
-	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
 	fwd := u
 	fwd.Depth = senderDepth + 1
-	acts := make([]Action, 0, len(targets))
-	for _, m := range targets {
+	acts := make([]Action, 0, len(ks.interest))
+	// The interest set is sorted ascending; iterating it directly is the
+	// deterministic target order.
+	for _, m := range ks.interest {
+		if except.has(m) {
+			continue
+		}
 		n.emit(Event{Kind: EvUpdatePushed, Peer: m, Key: u.Key, Type: u.Type, Depth: fwd.Depth})
 		acts = append(acts, Action{Kind: ActSendUpdate, To: m, Key: u.Key, Update: fwd})
 	}
@@ -665,15 +760,15 @@ func (n *Node) pushProactiveExcept(ks *keyState, u Update, senderDepth int, exce
 // no interest remains, propagate the clear-bit toward the authority.
 func (n *Node) HandleClearBit(from overlay.NodeID, k overlay.Key) []Action {
 	ks := n.state(k)
-	delete(ks.interest, from)
-	delete(ks.pendingChildren, from)
+	ks.interest.remove(from)
+	ks.pendingChildren.remove(from)
 	if len(ks.interest) > 0 || ks.queries > 0 || ks.pfu {
 		return nil
 	}
 	if n.IsAuthority(k) {
 		return nil // the root has no upstream to cut
 	}
-	next := n.router.NextHopTowardOwner(n.id, k)
+	next := n.env.router.NextHopTowardOwner(n.id, k)
 	n.emit(Event{Kind: EvCutoffFired, Peer: next, Key: k})
 	return []Action{{Kind: ActSendClearBit, To: next, Key: k}}
 }
@@ -682,22 +777,14 @@ func (n *Node) HandleClearBit(from overlay.NodeID, k overlay.Key) []Action {
 // changes (§2.9): interest and pending bits of vanished neighbors are
 // dropped; entries themselves are kept and simply expire if orphaned.
 func (n *Node) PatchNeighbors(current []overlay.NodeID) {
-	alive := make(map[overlay.NodeID]struct{}, len(current))
+	alive := make(nodeSet, 0, len(current))
 	for _, m := range current {
-		alive[m] = struct{}{}
+		alive.add(m)
 	}
-	for _, ks := range n.keys {
-		for m := range ks.interest {
-			if _, ok := alive[m]; !ok {
-				delete(ks.interest, m)
-			}
-		}
-		for m := range ks.pendingChildren {
-			if _, ok := alive[m]; !ok {
-				delete(ks.pendingChildren, m)
-			}
-		}
-	}
+	n.eachState(func(ks *keyState) {
+		ks.interest.intersect(alive)
+		ks.pendingChildren.intersect(alive)
+	})
 }
 
 // FlushExpired drops expired cached entries; transports may call it
@@ -707,10 +794,10 @@ func (n *Node) FlushExpired() int { return n.store.Expire(n.now()) }
 // SettleJustification finalizes §3.1 accounting at the end of a run: any
 // still-pending proactive update that was never matched is unjustified.
 func (n *Node) SettleJustification() {
-	for _, ks := range n.keys {
+	n.eachState(func(ks *keyState) {
 		if ks.justifyPending {
 			n.stats.Unjustified++
 			ks.justifyPending = false
 		}
-	}
+	})
 }

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// staged is a cross-shard event parked in its origin shard's outbox until
+// the window barrier merges it into the destination heap.
+type staged struct {
+	at Time
+	fn func()
+}
+
+// Sharded coordinates K independent Schedulers under conservative
+// time-window synchronization, the classic parallel discrete-event
+// scheme: as long as every cross-shard interaction carries at least
+// `lookahead` of virtual delay (in CUP runs, the minimum link delay), all
+// events in the window [tmin, tmin+lookahead) are causally independent
+// across shards and may fire concurrently. Cross-shard posts made while a
+// window is running are staged in per-(origin, destination) outboxes and
+// merged at the window barrier in (destination, origin, emission) order,
+// so the merged schedule — and therefore the simulation output — is
+// deterministic for a fixed shard count regardless of how many OS threads
+// execute the window.
+//
+// Each shard keeps its own pooled heap, generation-counted EventID
+// handles, and O(1) cancel; those invariants are per shard and unchanged.
+// Same-shard posts (including all timer re-arms) go straight into the
+// shard's heap and return a real, cancellable EventID. Cross-shard posts
+// return the zero EventID: a message already committed to the network has
+// no cancel semantics.
+type Sharded struct {
+	shards    []*Scheduler
+	lookahead Duration
+	// out[from][to] stages cross-shard posts made during a window.
+	out [][][]staged
+	// horizon is the exclusive upper bound of the running window; posts
+	// below it would violate the lookahead contract and panic.
+	horizon Time
+	running bool
+	// parallel executes windows on one goroutine per shard; with a single
+	// CPU the goroutine handoff is pure overhead, so it is enabled only
+	// when the runtime can actually run shards side by side.
+	parallel bool
+}
+
+// NewSharded returns K schedulers under one conservative synchronizer.
+// lookahead must be positive: it is the minimum virtual delay of any
+// cross-shard event, and a zero lookahead would make every window empty.
+func NewSharded(k int, lookahead Duration) *Sharded {
+	if k < 1 {
+		panic(fmt.Sprintf("sim: shard count %d < 1", k))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: non-positive lookahead %v", lookahead))
+	}
+	sh := &Sharded{
+		shards:    make([]*Scheduler, k),
+		lookahead: lookahead,
+		out:       make([][][]staged, k),
+		parallel:  k > 1 && runtime.GOMAXPROCS(0) > 1,
+	}
+	for i := range sh.shards {
+		sh.shards[i] = NewScheduler()
+		sh.out[i] = make([][]staged, k)
+	}
+	return sh
+}
+
+// Shards returns the shard count.
+func (sh *Sharded) Shards() int { return len(sh.shards) }
+
+// Shard returns shard i's scheduler (for setup-time scheduling and
+// same-shard timers).
+func (sh *Sharded) Shard(i int) *Scheduler { return sh.shards[i] }
+
+// NowOf returns shard i's clock. Shard clocks agree only up to the
+// lookahead window; within a handler, read the acting node's shard.
+func (sh *Sharded) NowOf(i int) Time { return sh.shards[i].now }
+
+// Post schedules fn at absolute time at on shard to. Same-shard posts
+// (and any post made outside a running window, e.g. during setup) insert
+// directly and return a cancellable handle. Cross-shard posts made during
+// a window are staged until the barrier and return the zero EventID; they
+// must honor the lookahead (at ≥ window horizon) or Post panics.
+func (sh *Sharded) Post(from, to int, at Time, fn func()) EventID {
+	if from == to || !sh.running {
+		return sh.shards[to].At(at, fn)
+	}
+	if at < sh.horizon {
+		panic(fmt.Sprintf("sim: cross-shard post at %v inside window horizon %v (delay below lookahead %v?)",
+			at, sh.horizon, sh.lookahead))
+	}
+	sh.out[from][to] = append(sh.out[from][to], staged{at: at, fn: fn})
+	return EventID{}
+}
+
+// NextTime returns the earliest pending event time across shards, or
+// Infinity when every shard is drained.
+func (sh *Sharded) NextTime() Time {
+	tmin := Infinity
+	for _, s := range sh.shards {
+		if t := s.peekTime(); t < tmin {
+			tmin = t
+		}
+	}
+	return tmin
+}
+
+// Window runs one conservative window: all events in
+// [tmin, tmin+lookahead) with time ≤ limit, concurrently across shards,
+// then merges the staged cross-shard posts at the barrier. It reports
+// false — running nothing — once no event at or before limit remains.
+func (sh *Sharded) Window(limit Time) bool {
+	tmin := sh.NextTime()
+	if tmin == Infinity || tmin > limit {
+		return false
+	}
+	horizon := tmin.Add(sh.lookahead)
+	sh.horizon = horizon
+	sh.running = true
+	if sh.parallel {
+		var wg sync.WaitGroup
+		for _, s := range sh.shards {
+			wg.Add(1)
+			go func(s *Scheduler) {
+				defer wg.Done()
+				s.RunWindow(horizon, limit)
+			}(s)
+		}
+		wg.Wait()
+	} else {
+		for _, s := range sh.shards {
+			s.RunWindow(horizon, limit)
+		}
+	}
+	sh.running = false
+	// Barrier merge in (destination, origin, emission) order: the only
+	// ordering decision parallel execution could perturb, pinned here so
+	// each destination heap receives an identical (time, seq) schedule on
+	// every run.
+	for to := range sh.shards {
+		dst := sh.shards[to]
+		for from := range sh.shards {
+			box := sh.out[from][to]
+			for i := range box {
+				dst.At(box[i].at, box[i].fn)
+				box[i].fn = nil
+			}
+			sh.out[from][to] = box[:0]
+		}
+	}
+	return true
+}
+
+// RunUntil runs windows until no event at or before limit remains, then
+// advances every shard clock to limit (an Infinity limit drains the
+// queues and leaves each clock at its last event, like Scheduler.Step to
+// exhaustion). tick, when non-nil, runs between windows and aborts the
+// run by returning an error (context checks, event budgets).
+func (sh *Sharded) RunUntil(limit Time, tick func() error) error {
+	for sh.Window(limit) {
+		if tick != nil {
+			if err := tick(); err != nil {
+				return err
+			}
+		}
+	}
+	if limit < Infinity {
+		for _, s := range sh.shards {
+			s.AdvanceTo(limit)
+		}
+	}
+	return nil
+}
+
+// Executed returns the total events fired across shards.
+func (sh *Sharded) Executed() uint64 {
+	var n uint64
+	for _, s := range sh.shards {
+		n += s.Executed
+	}
+	return n
+}
+
+// Pending returns the total pending events across shards (outboxes are
+// always empty between windows).
+func (sh *Sharded) Pending() int {
+	n := 0
+	for _, s := range sh.shards {
+		n += s.Pending()
+	}
+	return n
+}
+
+// QueueDepth reports shard i's physical queue length — the per-shard
+// telemetry gauge.
+func (sh *Sharded) QueueDepth(i int) int { return sh.shards[i].QueueLen() }
+
+// RunWindow fires events with time strictly before horizon and at or
+// before limit, leaving later events queued. It is the per-shard body of
+// Sharded.Window; the strict horizon bound is what the lookahead contract
+// guarantees cross-shard posts cannot land under.
+//
+//cup:hotpath
+func (s *Scheduler) RunWindow(horizon, limit Time) {
+	// Fused peek+fire loop: the heap top is inspected exactly once per
+	// event (Step after peekTime would re-read and re-check it), which
+	// matters because every simulation event at scale passes through here.
+	for len(s.queue) > 0 {
+		top := s.queue[0]
+		if top.e.cancelled {
+			s.cancelled--
+			s.recycle(s.pop().e)
+			continue
+		}
+		if top.at >= horizon || top.at > limit {
+			return
+		}
+		en := s.pop()
+		fn := en.e.fn
+		s.now = en.at
+		// Recycle before firing, as in Step: fn may schedule and reuse
+		// the entry.
+		s.recycle(en.e)
+		s.Executed++
+		s.maybeShrink()
+		fn()
+	}
+}

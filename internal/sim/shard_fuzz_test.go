@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// FuzzShardedScheduler drives random post/cancel/window interleavings
+// against a model across 1–4 shards, extending FuzzScheduler's
+// generation-counted cancel invariants across shard boundaries:
+//
+//   - Same-shard handles cancel exactly once while pending; handles for
+//     staged cross-shard posts are zero and cancel nothing.
+//   - Every non-cancelled event fires exactly once, at its scheduled
+//     time, on its destination shard, with each shard clock monotone.
+//   - When Window reports no work at or before a limit, every model
+//     event due at or before that limit has fired — the conservative
+//     window never strands a causally-due event in an outbox.
+//
+// The first program byte picks the shard count (and whether windows run
+// on goroutine-per-shard), so the corpus covers the sequential and
+// parallel barrier paths alike.
+func FuzzShardedScheduler(f *testing.F) {
+	f.Add([]byte{0, 0, 3, 0, 5, 2, 1, 0, 2, 2})
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 2, 1, 1, 3, 7, 0, 4, 2, 2})
+	f.Add([]byte{2, 3, 200, 0, 15, 0, 15, 1, 0, 1, 0, 3, 16})
+	f.Add([]byte{3, 0, 9, 1, 0, 0, 9, 2, 3, 0, 9, 2, 7, 2, 1})
+	f.Add([]byte{7, 0, 1, 0, 1, 2, 2, 1, 200, 1, 3, 0, 2, 1, 0, 3, 31})
+
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		if len(prog) == 0 {
+			return
+		}
+		k := int(prog[0]&3) + 1
+		const lookahead = Duration(1)
+		sh := NewSharded(k, lookahead)
+		sh.parallel = prog[0]&4 != 0
+
+		type rec struct {
+			at        Time
+			shard     int
+			fired     bool
+			cancelled bool
+		}
+		// mu guards the model: with parallel windows, event bodies run on
+		// one goroutine per shard.
+		var mu sync.Mutex
+		var evs []*rec
+		var handles []EventID
+		var hrecs []*rec
+		lastFired := make([]Time, k)
+
+		maxNow := func() Time {
+			m := Time(0)
+			for i := 0; i < k; i++ {
+				if n := sh.NowOf(i); n > m {
+					m = n
+				}
+			}
+			return m
+		}
+		var body func(r *rec, chain byte) func()
+		body = func(r *rec, chain byte) func() {
+			var fn func()
+			fn = func() {
+				mu.Lock()
+				defer mu.Unlock()
+				if r.fired {
+					t.Error("event fired twice")
+				}
+				if r.cancelled {
+					t.Error("cancelled event fired")
+				}
+				r.fired = true
+				now := sh.NowOf(r.shard)
+				if now != r.at {
+					t.Errorf("fired at %v on shard %d, scheduled for %v", now, r.shard, r.at)
+				}
+				if r.at < lastFired[r.shard] {
+					t.Errorf("shard %d time went backwards: %v after %v", r.shard, r.at, lastFired[r.shard])
+				}
+				lastFired[r.shard] = r.at
+				if chain > 0 {
+					// Repost across the ring with a legal delay: the
+					// staged-outbox path under a running window.
+					dst := (r.shard + 1) % k
+					nr := &rec{
+						at:    now.Add(lookahead + Duration(chain%4)*0.25),
+						shard: dst,
+					}
+					evs = append(evs, nr)
+					if id := sh.Post(r.shard, dst, nr.at, body(nr, chain/4)); dst != r.shard && sh.running && id != (EventID{}) {
+						t.Error("staged cross-shard post returned a live handle")
+					}
+				}
+			}
+			return fn
+		}
+
+		i := 1
+		next := func() byte {
+			if i >= len(prog) {
+				return 0
+			}
+			b := prog[i]
+			i++
+			return b
+		}
+		for i < len(prog) {
+			switch next() % 4 {
+			case 0, 3: // post a future event from outside any window
+				x := next()
+				dst := int(x) % k
+				r := &rec{at: maxNow().Add(Duration(x % 16)), shard: dst}
+				evs = append(evs, r)
+				id := sh.Post(dst, dst, r.at, body(r, next()))
+				handles = append(handles, id)
+				hrecs = append(hrecs, r)
+			case 1: // cancel an arbitrary (possibly stale) same-shard handle
+				if len(handles) == 0 {
+					continue
+				}
+				j := int(next()) % len(handles)
+				r := hrecs[j]
+				want := !r.fired && !r.cancelled
+				if got := sh.Shard(r.shard).Cancel(handles[j]); got != want {
+					t.Fatalf("Cancel(#%d) = %v, model says %v (fired=%v cancelled=%v)",
+						j, got, want, r.fired, r.cancelled)
+				}
+				if want {
+					r.cancelled = true
+				}
+			case 2: // run windows up to a bounded limit
+				limit := maxNow().Add(Duration(next() % 8))
+				for sh.Window(limit) {
+				}
+				for j, r := range evs {
+					if !r.cancelled && r.at <= limit && !r.fired {
+						t.Fatalf("event #%d due %v on shard %d unfired with windows drained to %v",
+							j, r.at, r.shard, limit)
+					}
+				}
+			}
+		}
+
+		// Final drain: everything still pending fires; every handle —
+		// fired, cancelled, or zero — must be a Cancel no-op.
+		if err := sh.RunUntil(Infinity, nil); err != nil {
+			t.Fatalf("RunUntil: %v", err)
+		}
+		fired := 0
+		for _, r := range evs {
+			if !r.fired && !r.cancelled {
+				t.Fatal("event lost: neither fired nor cancelled after drain")
+			}
+			if r.fired {
+				fired++
+			}
+		}
+		if sh.Pending() != 0 {
+			t.Fatalf("Pending() = %d after drain", sh.Pending())
+		}
+		if sh.Executed() != uint64(fired) {
+			t.Fatalf("Executed = %d, model fired %d", sh.Executed(), fired)
+		}
+		for j, r := range hrecs {
+			if sh.Shard(r.shard).Cancel(handles[j]) {
+				t.Fatalf("stale handle #%d cancelled something after drain", j)
+			}
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// shardLog records one shard's fired events as (time, tag) pairs; the
+// determinism tests compare logs across runs and execution modes.
+type shardLog [][]string
+
+func logOf(k int) (shardLog, func(shard int, sh *Sharded, tag string)) {
+	log := make(shardLog, k)
+	return log, func(shard int, sh *Sharded, tag string) {
+		log[shard] = append(log[shard], fmt.Sprintf("%.3f/%s", float64(sh.NowOf(shard)), tag))
+	}
+}
+
+// ringWorkload builds a ring of cross-shard messages: each shard fires a
+// chain of events that repost to the next shard with the minimum legal
+// delay, the worst case for window synchronization.
+func ringWorkload(sh *Sharded, record func(int, *Sharded, string), hops int) {
+	k := sh.Shards()
+	for i := 0; i < k; i++ {
+		i := i
+		var hop func(shard, depth int)
+		hop = func(shard, depth int) {
+			record(shard, sh, fmt.Sprintf("ring%d.%d", i, depth))
+			if depth >= hops {
+				return
+			}
+			next := (shard + 1) % k
+			sh.Post(shard, next, sh.NowOf(shard).Add(sh.lookahead+Duration(depth)*0.25), func() {
+				hop(next, depth+1)
+			})
+		}
+		sh.Post(i, i, Time(i)*0.5, func() { hop(i, 0) })
+	}
+}
+
+func runRing(t *testing.T, k int, parallel bool) (shardLog, uint64) {
+	t.Helper()
+	sh := NewSharded(k, 1)
+	sh.parallel = parallel
+	log, record := logOf(k)
+	ringWorkload(sh, record, 7)
+	if err := sh.RunUntil(Infinity, nil); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if sh.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain", sh.Pending())
+	}
+	return log, sh.Executed()
+}
+
+func TestShardedDeterminism(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4} {
+		a, na := runRing(t, k, false)
+		b, nb := runRing(t, k, false)
+		if na != nb || !reflect.DeepEqual(a, b) {
+			t.Fatalf("k=%d: two identical runs diverged:\n%v\n%v", k, a, b)
+		}
+	}
+}
+
+// The goroutine-per-shard execution path must produce the same per-shard
+// event order as sequential execution: the barrier merge is the only
+// ordering decision, and it is pinned.
+func TestShardedParallelMatchesSequential(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		seq, nseq := runRing(t, k, false)
+		par, npar := runRing(t, k, true)
+		if nseq != npar || !reflect.DeepEqual(seq, par) {
+			t.Fatalf("k=%d: parallel window execution diverged from sequential:\n%v\n%v", k, seq, par)
+		}
+	}
+}
+
+// A single shard under the synchronizer must behave exactly like a plain
+// Scheduler: same fire order, same clock, cancellable handles.
+func TestShardedSingleShard(t *testing.T) {
+	sh := NewSharded(1, 0.5)
+	plain := NewScheduler()
+	var got, want []Time
+	for i := 10; i > 0; i-- {
+		at := Time(i) * 0.3
+		sh.Post(0, 0, at, func() { got = append(got, sh.NowOf(0)) })
+		plain.At(at, func() { want = append(want, plain.Now()) })
+	}
+	// A cancelled same-shard event must not fire.
+	id := sh.Post(0, 0, 1.55, func() { t.Fatal("cancelled event fired") })
+	if !sh.Shard(0).Cancel(id) {
+		t.Fatal("same-shard Post handle not cancellable")
+	}
+	if err := sh.RunUntil(5, nil); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if err := plain.RunUntil(5); err != nil {
+		t.Fatalf("plain RunUntil: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded k=1 fire times %v, plain scheduler %v", got, want)
+	}
+	if sh.NowOf(0) != plain.Now() {
+		t.Fatalf("clocks diverged: sharded %v, plain %v", sh.NowOf(0), plain.Now())
+	}
+}
+
+// Cross-shard posts below the window horizon violate the lookahead
+// contract and must panic rather than silently reorder time.
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	sh := NewSharded(2, 1)
+	sh.Post(0, 0, 0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-shard post below lookahead did not panic")
+			}
+		}()
+		sh.Post(0, 1, sh.NowOf(0).Add(0.25), func() {})
+	})
+	if err := sh.RunUntil(Infinity, nil); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+}
+
+// RunUntil's limit is inclusive and advances every shard clock to the
+// limit, mirroring Scheduler.RunUntil.
+func TestShardedRunUntilLimit(t *testing.T) {
+	sh := NewSharded(2, 1)
+	fired := 0
+	late := false
+	sh.Post(0, 0, 2, func() { fired++ })
+	sh.Post(1, 1, 3, func() { fired++ })
+	sh.Post(1, 1, 3.5, func() { late = true })
+	if err := sh.RunUntil(3, nil); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if fired != 2 || late {
+		t.Fatalf("fired=%d late=%v after RunUntil(3), want 2 events and no late fire", fired, late)
+	}
+	for i := 0; i < 2; i++ {
+		if sh.NowOf(i) != 3 {
+			t.Fatalf("shard %d clock %v, want 3", i, sh.NowOf(i))
+		}
+	}
+	if err := sh.RunUntil(4, nil); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if !late {
+		t.Fatal("event at 3.5 never fired")
+	}
+}
+
+// A tick error aborts the run between windows.
+func TestShardedTickAborts(t *testing.T) {
+	sh := NewSharded(2, 1)
+	for i := 0; i < 8; i++ {
+		at := Time(i)
+		sh.Post(0, 0, at, func() {})
+	}
+	windows := 0
+	errStop := fmt.Errorf("stop")
+	err := sh.RunUntil(Infinity, func() error {
+		windows++
+		if windows == 2 {
+			return errStop
+		}
+		return nil
+	})
+	if err != errStop {
+		t.Fatalf("RunUntil = %v, want tick error", err)
+	}
+	if sh.Pending() == 0 {
+		t.Fatal("abort drained the queue anyway")
+	}
+}
+
+// BenchmarkShardedScheduler drives the cupbench timer-churn pattern
+// across 4 shards: 16 rearm chains per shard, each turn cancelling a
+// decoy, scheduling a successor and a fresh decoy, and posting one
+// cross-shard message through the staged-outbox path.
+func BenchmarkShardedScheduler(b *testing.B) {
+	const k, chains = 4, 8
+	sh := NewSharded(k, 1)
+	noop := func() {}
+	rounds := b.N / (k * chains)
+	for i := 0; i < k; i++ {
+		shard := i
+		s := sh.Shard(shard)
+		for c := 0; c < chains; c++ {
+			var decoy EventID
+			var rearm func()
+			left := rounds
+			rearm = func() {
+				if left <= 0 {
+					return
+				}
+				left--
+				s.Cancel(decoy)
+				decoy = s.After(2, noop)
+				s.After(1, rearm)
+				sh.Post(shard, (shard+1)%k, s.now.Add(2), noop)
+			}
+			s.After(1, rearm)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := sh.RunUntil(Infinity, nil); err != nil {
+		b.Fatal(err)
+	}
+}

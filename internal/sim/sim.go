@@ -16,7 +16,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -48,58 +47,35 @@ type EventID struct {
 	gen uint64
 }
 
-// event is a single queue entry. seq breaks ties so that events scheduled
-// for the same instant fire in scheduling order (FIFO), which keeps the
-// simulation deterministic. gen invalidates outstanding EventIDs when the
-// entry is recycled.
+// event is the pooled, pointer-stable part of a queue entry: the handle
+// target. Its generation invalidates outstanding EventIDs when the entry
+// is recycled; the ordering keys live inline in the heap (heapEntry).
 type event struct {
-	at        Time
-	seq       uint64
 	gen       uint64
 	fn        func()
 	cancelled bool
-	index     int // heap index
 }
 
-type eventHeap []*event
-
-//cup:hotpath
-func (h eventHeap) Len() int { return len(h) }
-
-//cup:hotpath
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// heapEntry is one heap slot. The sort keys (at, seq — seq breaks ties so
+// simultaneous events fire in scheduling order, which keeps the
+// simulation deterministic) are stored inline next to the event pointer:
+// sift comparisons read contiguous array memory and never dereference the
+// pooled event object, which at simulation scale (thousands of pending
+// events per shard) turns every heap level from a dependent cache miss
+// into a streamed load.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	e   *event
 }
 
-//cup:hotpath
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-//cup:hotpath
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	// Amortized growth: the heap is pre-sized to initialQueueCap and only
-	// grows past a workload's all-time peak.
-	*h = append(*h, e) //cup:allowalloc
-}
-
-//cup:hotpath
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+// eventHeap is a binary min-heap ordered by (at, seq). The sift loops are
+// hand-inlined rather than going through container/heap: the interface
+// indirection (an `any` conversion per Push/Pop plus virtual Less/Swap
+// calls at every level) costs ~a third of the per-event budget on the
+// hottest loop in the repo, and the heap invariant is only four
+// comparisons of two fields.
+type eventHeap []heapEntry
 
 // initialQueueCap pre-sizes the heap and free list so short-lived
 // schedulers never grow them and long-lived ones grow them once.
@@ -195,7 +171,6 @@ func (s *Scheduler) recycle(e *event) {
 	e.gen++
 	e.fn = nil
 	e.cancelled = false
-	e.index = -1
 	// Amortized pool growth: capacity chases the queue's peak and is then
 	// reused for the rest of the run.
 	s.free = append(s.free, e) //cup:allowalloc
@@ -215,12 +190,112 @@ func (s *Scheduler) At(t Time, fn func()) EventID {
 	}
 	s.seq++
 	e := s.alloc()
-	e.at, e.seq, e.fn = t, s.seq, fn
-	heap.Push(&s.queue, e)
+	e.fn = fn
+	s.push(heapEntry{at: t, seq: s.seq, e: e})
 	if len(s.queue) > s.highWater {
 		s.highWater = len(s.queue)
 	}
 	return EventID{e: e, gen: e.gen}
+}
+
+// push appends e and sifts it up to its heap position.
+//
+//cup:hotpath
+func (s *Scheduler) push(en heapEntry) {
+	// Amortized growth: the heap is pre-sized to initialQueueCap and only
+	// grows past a workload's all-time peak.
+	h := append(s.queue, en) //cup:allowalloc
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		q := h[p]
+		if q.at < en.at || (q.at == en.at && q.seq < en.seq) {
+			break
+		}
+		h[i] = q
+		i = p
+	}
+	h[i] = en
+	s.queue = h
+}
+
+// pop removes and returns the earliest entry.
+//
+// The removal uses the bottom-up ("sink then sift up") scheme: the last
+// slot's entry — almost always near-maximal, since late slots hold
+// recently pushed far-future events — is not compared on the way down.
+// The root hole sinks along the min-child path to a leaf at one
+// comparison per level (a plain sift-down pays two), the displaced entry
+// drops into the leaf hole, and a sift-up (usually zero steps) fixes the
+// rare case where it belonged higher. Pop order is decided entirely by
+// the (at, seq) total order, so the scheme cannot change any simulation
+// output.
+//
+//cup:hotpath
+func (s *Scheduler) pop() heapEntry {
+	h := s.queue
+	top := h[0]
+	n := len(h) - 1
+	en := h[n]
+	h[n] = heapEntry{}
+	s.queue = h[:n]
+	h = s.queue
+	if n > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n {
+				a, b := h[c], h[r]
+				if b.at < a.at || (b.at == a.at && b.seq < a.seq) {
+					c = r
+				}
+			}
+			h[i] = h[c]
+			i = c
+		}
+		for i > 0 {
+			p := (i - 1) / 2
+			q := h[p]
+			if q.at < en.at || (q.at == en.at && q.seq < en.seq) {
+				break
+			}
+			h[i] = q
+			i = p
+		}
+		h[i] = en
+	}
+	return top
+}
+
+// siftDown restores heap order below position i.
+//
+//cup:hotpath
+func (s *Scheduler) siftDown(i int) {
+	h := s.queue
+	n := len(h)
+	en := h[i]
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n {
+			a, b := h[c], h[r]
+			if b.at < a.at || (b.at == a.at && b.seq < a.seq) {
+				c = r
+			}
+		}
+		ch := h[c]
+		if en.at < ch.at || (en.at == ch.at && en.seq < ch.seq) {
+			break
+		}
+		h[i] = ch
+		i = c
+	}
+	h[i] = en
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
@@ -262,22 +337,23 @@ func (s *Scheduler) maybeCompact() {
 		return
 	}
 	keep := s.queue[:0]
-	for _, e := range s.queue {
-		if e.cancelled {
-			s.recycle(e)
+	for _, en := range s.queue {
+		if en.e.cancelled {
+			s.recycle(en.e)
 			continue
 		}
-		e.index = len(keep)
 		// Never grows: keep reuses s.queue's backing array and only
 		// shrinks the logical length.
-		keep = append(keep, e) //cup:allowalloc
+		keep = append(keep, en) //cup:allowalloc
 	}
 	for i := len(keep); i < len(s.queue); i++ {
-		s.queue[i] = nil
+		s.queue[i] = heapEntry{}
 	}
 	s.queue = keep
 	s.cancelled = 0
-	heap.Init(&s.queue)
+	for i := len(keep)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
 }
 
 // Step fires the next event. It reports false when the queue is empty.
@@ -285,18 +361,18 @@ func (s *Scheduler) maybeCompact() {
 //cup:hotpath
 func (s *Scheduler) Step() bool {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*event)
-		if e.cancelled {
+		en := s.pop()
+		if en.e.cancelled {
 			s.cancelled--
-			s.recycle(e)
+			s.recycle(en.e)
 			continue
 		}
-		fn := e.fn
-		s.now = e.at
+		fn := en.e.fn
+		s.now = en.at
 		// Recycle before firing: fn may schedule and reuse the entry,
 		// and the generation bump has already invalidated handles to
 		// the fired event.
-		s.recycle(e)
+		s.recycle(en.e)
 		s.Executed++
 		s.maybeShrink()
 		fn()
@@ -365,9 +441,9 @@ func (s *Scheduler) AdvanceTo(t Time) {
 //cup:hotpath
 func (s *Scheduler) peekTime() Time {
 	for len(s.queue) > 0 {
-		if s.queue[0].cancelled {
+		if s.queue[0].e.cancelled {
 			s.cancelled--
-			s.recycle(heap.Pop(&s.queue).(*event))
+			s.recycle(s.pop().e)
 			continue
 		}
 		return s.queue[0].at

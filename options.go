@@ -391,6 +391,36 @@ func WithoutWorkload() Option {
 	return func(o *options) { o.p.NoWorkload = true }
 }
 
+// WithShards partitions a simulated run's node population into k
+// contiguous blocks, each driven by its own event heap under conservative
+// time-window synchronization (lookahead = the hop delay, the minimum
+// link delay). Sharding targets million-node batch sweeps: it requires
+// the homogeneous-delay open-loop subset of the simulator — no
+// WithLatencyModel, WithFaults, WithHooks, or WithoutWorkload — and
+// implies WithDenseState. Results are deterministic for a fixed k, but
+// the event interleaving (and so float accumulation order) differs from
+// the single-heap schedule; integer counters agree exactly. Observers
+// attached to a sharded run may be called from per-shard goroutines
+// concurrently, like on the live transport. A non-positive count is a
+// configuration error.
+func WithShards(k int) Option {
+	return func(o *options) {
+		if k <= 0 {
+			o.reject("shard count %d must be positive", k)
+			return
+		}
+		o.p.Shards = k
+	}
+}
+
+// WithDenseState backs simulated node state with the struct-of-arrays
+// arena instead of per-node heap objects: identical behavior and event
+// stream, a fraction of the memory and GC pointer traffic. Implied by
+// WithShards(k > 1); worth setting explicitly for big single-shard runs.
+func WithDenseState() Option {
+	return func(o *options) { o.p.DenseState = true }
+}
+
 // WithInboxDepth bounds each live peer's mailbox (default 1024). A
 // non-positive depth is a configuration error reported by New.
 func WithInboxDepth(n int) Option {
