@@ -66,7 +66,7 @@ func main() {
 		naive     = flag.Bool("naive-cutoff", false, "disable the replica-independent cut-off fix")
 		seed      = flag.Int64("seed", 1, "random seed")
 		scenario  = flag.String("scenario", "", "scenario from the registry: "+strings.Join(cup.ScenarioNames(), "|")+" (empty = paper's Poisson workload)")
-		transport = flag.String("transport", "sim", "transport: sim|live")
+		transport = flag.String("transport", "sim", "transport: sim|live|tcp")
 		timescale = flag.Float64("timescale", 40, "live transport: virtual scenario seconds replayed per wall-clock second")
 		telemetry = flag.String("telemetry", "", "serve /metrics, /trace, /debug/pprof on this address during the run (e.g. :9090)")
 	)
@@ -101,8 +101,15 @@ func main() {
 				opts = append(opts, cup.WithHopDelay(cup.Seconds(*hop)))
 			}
 		})
+	case "tcp", "live-tcp":
+		live = true
+		// TCP peers pay real loopback round-trips per hop; -hop does not
+		// apply.
+		opts = append(opts,
+			cup.WithTransport(cup.LiveTCP),
+			cup.WithTimeScale(*timescale))
 	default:
-		fmt.Fprintf(os.Stderr, "cupsim: unknown transport %q (sim|live)\n", *transport)
+		fmt.Fprintf(os.Stderr, "cupsim: unknown transport %q (sim|live|tcp)\n", *transport)
 		os.Exit(2)
 	}
 	if *scenario == "" {

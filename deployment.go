@@ -120,12 +120,24 @@ func New(opts ...Option) (*Deployment, error) {
 	if o.p.QueryRate <= 0 {
 		o.reject("query rate %g must be positive", o.p.QueryRate)
 	}
+	if overlay.Registered(o.p.OverlayKind) && !internal.ChurnCapable(o.p.OverlayKind) {
+		// Fail at construction, not mid-run: a membership fault script on
+		// a static overlay can never execute, and discovering that only
+		// when the fault timeline reaches it (or worse, not at all) is
+		// the silent no-op this check exists to prevent.
+		for _, f := range o.p.Faults {
+			if mf, ok := f.(internal.MembershipFault); ok && mf.RequiresMembership() {
+				o.reject("fault %q needs membership churn, but overlay %q is static (§2.9 churn needs a dynamic substrate such as can or kademlia)",
+					f.Name(), o.p.OverlayKind)
+			}
+		}
+	}
 	if o.p.Shards > 1 {
 		// Sharding is the batch-mode scaling path: reject everything the
 		// conservative-window scheduler cannot honor, with errors rather
 		// than NewSimulation's panics.
 		switch {
-		case o.transport == Live:
+		case o.transport != Simulated:
 			o.reject("WithShards applies to the simulated transport only")
 		case o.p.Latency != nil:
 			o.reject("WithShards requires a homogeneous hop delay (drop WithLatencyModel: the lookahead is the minimum link delay)")
@@ -166,9 +178,9 @@ func New(opts ...Option) (*Deployment, error) {
 	switch o.transport {
 	case Simulated:
 		d.rt = &simRuntime{s: internal.NewSimulation(o.p)}
-	case Live:
+	case Live, LiveTCP:
 		hop := o.liveHop
-		if hop == 0 {
+		if hop == 0 && o.transport == Live {
 			hop = internal.DefaultLiveHopDelay
 		}
 		d.liveCfg = live.Config{
@@ -182,10 +194,15 @@ func New(opts ...Option) (*Deployment, error) {
 		}
 		// The network boots lazily on first use: a multi-trial Run only
 		// ever drives per-trial networks, and must not also pay for an
-		// idle full-budget base network.
-		d.rt = &liveRuntime{cfg: d.liveCfg}
+		// idle full-budget base network (or, on TCP, its listeners).
+		d.rt = &liveRuntime{cfg: d.liveCfg, tcp: o.transport == LiveTCP}
 	default:
 		return nil, fmt.Errorf("cup: unknown transport %d", int(o.transport))
+	}
+	if o.refreshBudget > 0 {
+		// Process-wide by design (see WithRefreshBudget): trial networks
+		// from every deployment share one refresh pacing budget.
+		live.SetRefreshBudget(o.refreshBudget)
 	}
 	if o.telemetry {
 		if err := d.initTelemetry(&o); err != nil {
@@ -419,19 +436,23 @@ func (d *Deployment) runSimTrial(ctx context.Context, trial int) (*Result, error
 	return internal.NewSimulation(p).RunContext(ctx)
 }
 
-// runLiveTrial is one live trial: an isolated goroutine network booted
-// under the trial's derived seed (same topology derivation a simulated
-// trial of that seed uses), with a per-trial inbox budget carved from
-// the deployment's so side-by-side networks cannot overcommit what one
-// deployment was provisioned for. The trial network shares nothing with
-// its siblings but the deployment's event bus.
+// runLiveTrial is one live trial: an isolated network — goroutine or
+// TCP, matching the deployment's transport — booted under the trial's
+// derived seed (same topology derivation a simulated trial of that
+// seed uses), with a per-trial inbox budget carved from the
+// deployment's so side-by-side networks cannot overcommit what one
+// deployment was provisioned for. TCP trials additionally draw their
+// listeners from the process-wide port budget and release them on
+// every exit path, including a failed boot mid-sweep. The trial
+// network shares nothing with its siblings but the deployment's event
+// bus.
 func (d *Deployment) runLiveTrial(ctx context.Context, trial int) (*Result, error) {
 	p := d.p
 	p.Seed = internal.TrialSeed(d.p.Seed, trial)
 	cfg := d.liveCfg
 	cfg.Seed = p.Seed
 	cfg.InboxDepth = live.TrialInboxDepth(cfg.InboxDepth, d.trialWorkers())
-	lr := &liveRuntime{cfg: cfg}
+	lr := &liveRuntime{cfg: cfg, tcp: d.rt.(*liveRuntime).tcp}
 	defer lr.Close()
 
 	// Trial-local Append-vs-Refresh bookkeeping, the per-network mirror
@@ -461,9 +482,9 @@ func (d *Deployment) runLiveTrial(ctx context.Context, trial int) (*Result, erro
 // network never touches the deployment's published map.
 func (d *Deployment) runLiveOn(ctx context.Context, lr *liveRuntime, p internal.Params,
 	publish func(context.Context, Key, int, string, time.Duration) error) (*Result, error) {
-	net := lr.network()
-	if net == nil {
-		return nil, live.ErrClosed
+	net, err := lr.network()
+	if err != nil {
+		return nil, err
 	}
 	scale := d.timeScale
 	if scale <= 0 {
@@ -483,7 +504,10 @@ func (d *Deployment) runLiveOn(ctx context.Context, lr *liveRuntime, p internal.
 	for _, k := range keys {
 		for r := 0; r < p.Replicas; r++ {
 			if err := publish(ctx, k, r, internal.ReplicaAddr(r), life); err != nil {
-				return nil, fmt.Errorf("cup: scenario replica birth %q/%d: %v", k, r, err)
+				// %w keeps context.Canceled visible to the trial sweep's
+				// error precedence: a sibling aborted by another trial's
+				// real failure must not mask that failure.
+				return nil, fmt.Errorf("cup: scenario replica birth %q/%d: %w", k, r, err)
 			}
 		}
 	}
@@ -504,6 +528,12 @@ func (d *Deployment) runLiveOn(ctx context.Context, lr *liveRuntime, p internal.
 			}
 			for _, k := range keys {
 				for r := 0; r < p.Replicas; r++ {
+					// The pacer is the process-wide refresh budget: N
+					// concurrent trial networks share one publish rate
+					// instead of multiplying open-loop refresh load N×.
+					if live.PaceRefresh(refreshCtx) != nil {
+						return
+					}
 					_ = publish(refreshCtx, k, r, internal.ReplicaAddr(r), life)
 				}
 			}
@@ -527,21 +557,39 @@ func (d *Deployment) runLiveOn(ctx context.Context, lr *liveRuntime, p internal.
 		Duration: float64(p.QueryDuration),
 	}
 
-	// Fault timeline alongside the traffic pump.
+	// Fault timeline alongside the traffic pump. A failing fault — an
+	// unsupported operation, a churn choreography error — aborts the
+	// whole run: it cancels the pump, and its error outranks the pump's
+	// resulting context.Canceled. Faults must never silently no-op.
+	pumpCtx, stopPump := context.WithCancel(ctx)
+	defer stopPump()
 	faultCtx, stopFaults := context.WithCancel(ctx)
 	defer stopFaults()
+	var faultErr error
+	faultDone := make(chan struct{})
 	if len(p.Faults) > 0 {
 		surf := net.FaultSurface(keys, p.Replicas, life, rand.New(rand.NewSource(p.Seed+1)))
 		go func() {
-			_ = net.RunFaults(faultCtx, p.Faults, surf, env.Start, env.Duration, scale)
+			defer close(faultDone)
+			if err := net.RunFaults(faultCtx, p.Faults, surf, env.Start, env.Duration, scale); err != nil && !errors.Is(err, context.Canceled) {
+				faultErr = err
+				stopPump()
+			}
 		}()
+	} else {
+		close(faultDone)
 	}
 
-	if err := net.PumpTraffic(ctx, p.Traffic, env, scale); err != nil {
-		return nil, err
-	}
+	pumpErr := net.PumpTraffic(pumpCtx, p.Traffic, env, scale)
 	stopFaults()
 	stopRefresh()
+	<-faultDone // happens-before edge for faultErr
+	if faultErr != nil {
+		return nil, faultErr
+	}
+	if pumpErr != nil {
+		return nil, pumpErr
+	}
 	if err := lr.Settle(ctx); err != nil {
 		return nil, err
 	}
@@ -710,66 +758,87 @@ func (r *simRuntime) run(ctx context.Context) (*Result, error) {
 	return r.s.RunContext(ctx)
 }
 
-// liveRuntime executes a deployment on the goroutine-per-peer network.
-// The network boots lazily on first use: construction is free, so a
-// multi-trial sweep's base runtime (never driven — trials boot their
-// own networks) costs nothing, and an interactive deployment pays only
-// when the first client call arrives.
+// liveRuntime executes a deployment on a live network — goroutine
+// peers by default, one OS socket per peer with tcp set. The network
+// boots lazily on first use: construction is free, so a multi-trial
+// sweep's base runtime (never driven — trials boot their own networks)
+// costs nothing, and an interactive deployment pays only when the
+// first client call arrives. Both shells implement live.Endpoint, so
+// everything past boot is transport-blind.
 type liveRuntime struct {
 	cfg live.Config
+	tcp bool
 
 	mu     sync.Mutex
-	n      *live.Network
+	n      live.Endpoint
 	closed bool
 }
 
 // network returns the booted network, booting it on first use. It
-// returns nil only when the runtime was closed before ever booting.
-func (r *liveRuntime) network() *live.Network {
+// errors when the runtime was closed before ever booting, or — TCP
+// only — when the boot itself fails (port budget exhausted, listeners
+// unavailable). A failed boot holds no resources and may be retried.
+func (r *liveRuntime) network() (live.Endpoint, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.n == nil && !r.closed {
-		r.n = live.NewNetwork(r.cfg)
+		if r.tcp {
+			tn, err := live.NewTCPNetwork(r.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("cup: tcp transport: %w", err)
+			}
+			r.n = tn
+		} else {
+			r.n = live.NewNetwork(r.cfg)
+		}
 	}
-	return r.n
+	if r.n == nil {
+		return nil, live.ErrClosed
+	}
+	return r.n, nil
 }
 
 // peek returns the network only if it already booted: reads of
 // counters or the clock must not boot a network just to see zeros.
-func (r *liveRuntime) peek() *live.Network {
+func (r *liveRuntime) peek() live.Endpoint {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.n
 }
 
-func (r *liveRuntime) Transport() Transport { return Live }
+func (r *liveRuntime) Transport() Transport {
+	if r.tcp {
+		return LiveTCP
+	}
+	return Live
+}
 
 func (r *liveRuntime) Size() int {
-	if n := r.network(); n != nil {
+	if n, err := r.network(); err == nil {
 		return n.Size()
 	}
 	return 0
 }
 
 func (r *liveRuntime) Authority(key Key) NodeID {
-	if n := r.network(); n != nil {
+	if n, err := r.network(); err == nil {
 		return n.Authority(key)
 	}
 	return 0
 }
 
 func (r *liveRuntime) LookupAt(ctx context.Context, at NodeID, key Key) ([]Entry, error) {
-	n := r.network()
-	if n == nil {
-		return nil, live.ErrClosed
+	n, err := r.network()
+	if err != nil {
+		return nil, err
 	}
 	return n.Lookup(ctx, at, key)
 }
 
 func (r *liveRuntime) Publish(ctx context.Context, key Key, replica int, addr string, lifetime time.Duration, refresh bool) error {
-	n := r.network()
-	if n == nil {
-		return live.ErrClosed
+	n, err := r.network()
+	if err != nil {
+		return err
 	}
 	if refresh {
 		return n.RefreshCtx(ctx, key, replica, addr, lifetime)
@@ -778,9 +847,9 @@ func (r *liveRuntime) Publish(ctx context.Context, key Key, replica int, addr st
 }
 
 func (r *liveRuntime) Unpublish(ctx context.Context, key Key, replica int) error {
-	n := r.network()
-	if n == nil {
-		return live.ErrClosed
+	n, err := r.network()
+	if err != nil {
+		return err
 	}
 	return n.RemoveReplicaCtx(ctx, key, replica)
 }
@@ -789,18 +858,18 @@ func (r *liveRuntime) SetCapacity(ctx context.Context, id NodeID, c float64) err
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	n := r.network()
-	if n == nil {
-		return live.ErrClosed
+	n, err := r.network()
+	if err != nil {
+		return err
 	}
 	n.SetCapacity(id, c)
 	return nil
 }
 
 func (r *liveRuntime) Inspect(id NodeID, fn func(*Node)) error {
-	n := r.network()
-	if n == nil {
-		return live.ErrClosed
+	n, err := r.network()
+	if err != nil {
+		return err
 	}
 	if id < 0 || int(id) >= n.Size() {
 		return fmt.Errorf("cup: inspect of unknown node %v", id)

@@ -92,6 +92,13 @@ const (
 	// DefaultAdmitBurst is the token-bucket depth over DefaultAdmitRate:
 	// the write burst a quiet server absorbs before 429s begin.
 	DefaultAdmitBurst = 1024
+	// DefaultServeDrainTimeout bounds the graceful drain when a serving
+	// deployment closes: listeners stop accepting immediately, in-flight
+	// requests get this long to complete, then remaining connections are
+	// force-closed. It exceeds DefaultServeQueryTimeout so a GET already
+	// inside the CUP query path can finish (or 504) before the drain
+	// gives up on it.
+	DefaultServeDrainTimeout = 6 * time.Second
 	// DefaultShedThreshold is the live inbox occupancy fraction
 	// (cup_live_inbox_used / cup_live_inbox_capacity) above which the
 	// server sheds all /v1 traffic with 503 rather than queue more work

@@ -210,7 +210,23 @@ type Simulation struct {
 	held    []map[linkKey][]*heldClearBit
 	lookups map[pendKey][]*lookupWaiter
 	endTime sim.Time
+	// faultErr is the first scripted-fault failure (an intervention the
+	// surface could not honor); RunContext, Settle, and Lookup surface it
+	// instead of letting the run pass with the event silently dropped.
+	faultErr error
 }
+
+// recordFaultErr stores the first fault failure; later ones are noise
+// from the same root cause.
+func (s *Simulation) recordFaultErr(err error) {
+	if s.faultErr == nil {
+		s.faultErr = err
+	}
+}
+
+// FaultError reports the first scripted-fault failure of the run, nil
+// when every intervention was honored.
+func (s *Simulation) FaultError() error { return s.faultErr }
 
 // shardOf maps a node to its contiguous shard block.
 func (s *Simulation) shardOf(n overlay.NodeID) int {
@@ -447,9 +463,10 @@ func NewSimulation(p Params) *Simulation {
 		s.Sched.At(h.At, func() { h.Fn(s) })
 	}
 	for _, f := range p.Faults {
+		name := f.Name()
 		for _, ev := range f.Schedule(float64(p.QueryStart), float64(p.QueryDuration)) {
 			ev := ev
-			s.Sched.At(sim.Time(ev.At), func() { ev.Do(simSurface{s}) })
+			s.Sched.At(sim.Time(ev.At), func() { s.applyFault(name, ev) })
 		}
 	}
 	return s
@@ -671,6 +688,9 @@ func (s *Simulation) Lookup(ctx context.Context, nid overlay.NodeID, k overlay.K
 				return nil, err
 			}
 		}
+		if err := s.faultErr; err != nil {
+			return nil, err
+		}
 		if !s.Sched.Step() {
 			return nil, fmt.Errorf("cup: lookup for %q at %v never resolved (event queue drained)", k, nid)
 		}
@@ -690,9 +710,12 @@ func (s *Simulation) Settle(ctx context.Context) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			if err := s.faultErr; err != nil {
+				return err
+			}
 		}
 		if !s.Sched.Step() {
-			return nil
+			return s.faultErr
 		}
 	}
 }
@@ -904,6 +927,9 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if err := s.faultErr; err != nil {
+			return nil, err
+		}
 		ran := 0
 		for ran < batch && s.Sched.NextTime() <= s.endTime {
 			// Enforce the budget exactly: error as soon as an event
@@ -917,6 +943,9 @@ func (s *Simulation) RunContext(ctx context.Context) (*Result, error) {
 		if ran < batch {
 			break
 		}
+	}
+	if err := s.faultErr; err != nil {
+		return nil, err
 	}
 	s.Sched.AdvanceTo(s.endTime)
 	s.foldCounters()

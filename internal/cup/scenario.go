@@ -1,6 +1,7 @@
 package cup
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -44,12 +45,24 @@ type FaultSurface interface {
 	// RemoveReplica deletes replica r of key (a Delete update
 	// propagates).
 	RemoveReplica(key overlay.Key, r int)
-	// Join adds one node to the overlay (§2.9); ok is false when the
-	// substrate or transport does not support membership changes.
-	Join() (id overlay.NodeID, ok bool)
-	// Leave removes a node; ok is false when unsupported or the node is
-	// already gone.
-	Leave(id overlay.NodeID) (ok bool)
+	// Join adds one node to the overlay (§2.9). A surface that cannot
+	// honor membership changes must return a descriptive error — the run
+	// fails rather than silently dropping the scripted event.
+	Join() (id overlay.NodeID, err error)
+	// Leave removes a node. Unsupported membership or an already-gone
+	// node is an error for the same reason.
+	Leave(id overlay.NodeID) error
+}
+
+// MembershipFault marks fault scripts that require §2.9 membership
+// support (Join/Leave) from the surface they run on. Deployment
+// construction uses it to reject a membership script on a static
+// substrate up front, before any traffic runs.
+type MembershipFault interface {
+	Fault
+	// RequiresMembership reports whether the script will call
+	// Join/Leave on its surface.
+	RequiresMembership() bool
 }
 
 // FaultEvent is one timed intervention into a running deployment.
@@ -57,8 +70,9 @@ type FaultEvent struct {
 	// At is the intervention instant in seconds since the start of the
 	// run (virtual on the simulator, scaled wall-clock on live).
 	At float64
-	// Do applies the intervention.
-	Do func(FaultSurface)
+	// Do applies the intervention. A non-nil error aborts the run: a
+	// fault script that cannot be honored must fail loudly, never no-op.
+	Do func(FaultSurface) error
 }
 
 // Fault is a scripted fault: Schedule expands it into timed
@@ -149,7 +163,7 @@ func (f CapacityFault) Schedule(start, duration float64) []FaultEvent {
 	if !f.Recover {
 		return []FaultEvent{{
 			At: start + f.Warmup,
-			Do: func(s FaultSurface) { s.SetCapacity(f.sample(s), f.Capacity) },
+			Do: func(s FaultSurface) error { s.SetCapacity(f.sample(s), f.Capacity); return nil },
 		}}
 	}
 	var events []FaultEvent
@@ -157,12 +171,14 @@ func (f CapacityFault) Schedule(start, duration float64) []FaultEvent {
 	for at := start + f.Warmup; at < end; at += cycle {
 		var affected []overlay.NodeID
 		events = append(events,
-			FaultEvent{At: at, Do: func(s FaultSurface) {
+			FaultEvent{At: at, Do: func(s FaultSurface) error {
 				affected = f.sample(s)
 				s.SetCapacity(affected, f.Capacity)
+				return nil
 			}},
-			FaultEvent{At: at + f.Down, Do: func(s FaultSurface) {
+			FaultEvent{At: at + f.Down, Do: func(s FaultSurface) error {
 				s.SetCapacity(affected, -1)
+				return nil
 			}},
 		)
 	}
@@ -172,8 +188,8 @@ func (f CapacityFault) Schedule(start, duration float64) []FaultEvent {
 // NodeChurn scripts §2.9 membership changes: starting at At, every
 // Period a node joins or a random non-authority node departs
 // (alternating), Rounds times in total. It requires a churn-capable
-// substrate (CAN or Kademlia) on the simulated transport; on substrates
-// or transports without membership support the interventions are no-ops.
+// substrate (CAN or Kademlia); on substrates without membership support
+// the run fails with a descriptive error — never a silent no-op.
 type NodeChurn struct {
 	// At is the first intervention in seconds; zero starts one warmup
 	// (50 s) into the query window.
@@ -185,6 +201,10 @@ type NodeChurn struct {
 }
 
 func (c NodeChurn) Name() string { return "node-churn" }
+
+// RequiresMembership marks NodeChurn as a membership script, so
+// deployment construction can reject it on static substrates up front.
+func (c NodeChurn) RequiresMembership() bool { return true }
 
 func (c NodeChurn) Schedule(start, duration float64) []FaultEvent {
 	at, period, rounds := c.At, c.Period, c.Rounds
@@ -202,10 +222,10 @@ func (c NodeChurn) Schedule(start, duration float64) []FaultEvent {
 		i := i
 		events = append(events, FaultEvent{
 			At: at + float64(i)*period,
-			Do: func(s FaultSurface) {
+			Do: func(s FaultSurface) error {
 				if i%2 == 0 {
-					s.Join()
-					return
+					_, err := s.Join()
+					return err
 				}
 				// Depart a random alive node that owns no workload key,
 				// so authorities persist (ungraceful authority loss is
@@ -217,10 +237,12 @@ func (c NodeChurn) Schedule(start, duration float64) []FaultEvent {
 				for tries := 0; tries < 4*s.Size(); tries++ {
 					id := overlay.NodeID(s.Rand().Intn(s.Size()))
 					if s.Alive(id) && !owners[id] {
-						s.Leave(id)
-						return
+						return s.Leave(id)
 					}
 				}
+				// Every alive node owns a workload key: nothing eligible
+				// to depart this round. Not a surface failure.
+				return nil
 			},
 		})
 	}
@@ -263,13 +285,13 @@ func (c ReplicaChurn) Schedule(start, duration float64) []FaultEvent {
 		i := i
 		events = append(events, FaultEvent{
 			At: at + float64(i)*period,
-			Do: func(s FaultSurface) {
+			Do: func(s FaultSurface) error {
 				k := c.Key
 				if k == "" {
 					if keys := s.Keys(); len(keys) > 0 {
 						k = keys[0]
 					} else {
-						return
+						return nil
 					}
 				}
 				next := s.Replicas() + i
@@ -277,6 +299,7 @@ func (c ReplicaChurn) Schedule(start, duration float64) []FaultEvent {
 				if prev := next - 1; prev >= c.Min && prev >= s.Replicas() {
 					s.RemoveReplica(k, prev)
 				}
+				return nil
 			},
 		})
 	}
@@ -305,19 +328,32 @@ func (a simSurface) SetCapacity(ids []overlay.NodeID, c float64) { a.s.SetCapaci
 func (a simSurface) AddReplica(key overlay.Key, r int)           { a.s.AddReplica(key, r) }
 func (a simSurface) RemoveReplica(key overlay.Key, r int)        { a.s.RemoveReplica(key, r) }
 
-func (a simSurface) Join() (overlay.NodeID, bool) {
+func (a simSurface) Join() (overlay.NodeID, error) {
 	if !a.s.SupportsChurn() {
-		return 0, false
+		return 0, fmt.Errorf("membership churn unsupported: overlay %q is static", a.s.P.OverlayKind)
 	}
-	return a.s.JoinNode(), true
+	return a.s.JoinNode(), nil
 }
 
-func (a simSurface) Leave(id overlay.NodeID) bool {
-	if !a.s.SupportsChurn() || !a.s.NodeAlive(id) {
-		return false
+func (a simSurface) Leave(id overlay.NodeID) error {
+	if !a.s.SupportsChurn() {
+		return fmt.Errorf("membership churn unsupported: overlay %q is static", a.s.P.OverlayKind)
+	}
+	if !a.s.NodeAlive(id) {
+		return fmt.Errorf("leave of node %v: not a live member", id)
 	}
 	a.s.LeaveNode(id)
-	return true
+	return nil
+}
+
+// applyFault runs one scripted intervention against the simulation,
+// recording a descriptive failure for RunContext/Settle/Lookup to
+// surface: fault scripts a transport cannot honor abort the run instead
+// of silently doing nothing.
+func (s *Simulation) applyFault(name string, ev FaultEvent) {
+	if err := ev.Do(simSurface{s}); err != nil {
+		s.recordFaultErr(fmt.Errorf("cup: fault %q at t=%gs: %w", name, ev.At, err))
+	}
 }
 
 // FaultHooks compiles a fault script into simulation Hooks for the
@@ -325,12 +361,13 @@ func (a simSurface) Leave(id overlay.NodeID) bool {
 // pre-Scenario Hook surface (Params.Hooks) keep working on top of the
 // transport-agnostic fault API.
 func FaultHooks(f Fault, start, duration float64) []Hook {
+	name := f.Name()
 	var hooks []Hook
 	for _, ev := range f.Schedule(start, duration) {
 		ev := ev
 		hooks = append(hooks, Hook{
 			At: sim.Time(ev.At),
-			Fn: func(s *Simulation) { ev.Do(simSurface{s}) },
+			Fn: func(s *Simulation) { s.applyFault(name, ev) },
 		})
 	}
 	return hooks

@@ -1,13 +1,16 @@
 // Resource budgets for side-by-side networks. A multi-trial live sweep
-// boots several isolated networks on one machine at once, and two
+// boots several isolated networks on one machine at once, and three
 // resources need explicit carving so N trials cannot exhaust what one
 // deployment was provisioned for: per-peer mailbox memory (the inbox
-// budget) and loopback listeners (the port budget of the TCP runtime).
+// budget), loopback listeners (the port budget of the TCP runtime), and
+// refresh publish rate (the process-wide refresh pacing budget).
 package live
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"cup/internal/cup"
 )
@@ -92,4 +95,89 @@ func PortsInUse() int {
 	portBudget.Lock()
 	defer portBudget.Unlock()
 	return portBudget.used
+}
+
+// DefaultRefreshBudget is the process-wide refresh pacing budget:
+// the total replica-refresh publishes per second shared by every
+// concurrently running live trial network. Refresh pumps are the one
+// load source trials generate open-loop on a timer (traffic pumps are
+// scripted, faults are scheduled), so an unpaced 64-trial sweep
+// multiplies refresh load 64× on one machine. The budget is the LOCKSS
+// lesson applied to our own harness: peer dynamics stay rate-limited no
+// matter how many replicas run side by side.
+const DefaultRefreshBudget = 2048.0
+
+// refreshPacer is a process-wide leaky bucket over refresh publishes.
+type refreshPacer struct {
+	sync.Mutex
+	// rate is refreshes/second; <= 0 restores DefaultRefreshBudget.
+	rate float64
+	// next is the earliest instant the next refresh may depart.
+	next time.Time
+	// paced counts refreshes that had to wait; waited accumulates the
+	// total wall-clock delay imposed. Exported via RefreshPacingStats
+	// for telemetry.
+	paced  uint64
+	waited time.Duration
+}
+
+var refreshBudget = refreshPacer{rate: DefaultRefreshBudget}
+
+// SetRefreshBudget adjusts the process-wide refresh budget (refreshes
+// per second across all live networks); perSec <= 0 restores the
+// default. Returns the budget now in force.
+func SetRefreshBudget(perSec float64) float64 {
+	refreshBudget.Lock()
+	defer refreshBudget.Unlock()
+	if perSec <= 0 {
+		perSec = DefaultRefreshBudget
+	}
+	refreshBudget.rate = perSec
+	return perSec
+}
+
+// RefreshBudget reports the refresh budget currently in force.
+func RefreshBudget() float64 {
+	refreshBudget.Lock()
+	defer refreshBudget.Unlock()
+	return refreshBudget.rate
+}
+
+// RefreshPacingStats reports how many refreshes were delayed by the
+// budget and the total delay imposed (telemetry gauges).
+func RefreshPacingStats() (paced uint64, waited time.Duration) {
+	refreshBudget.Lock()
+	defer refreshBudget.Unlock()
+	return refreshBudget.paced, refreshBudget.waited
+}
+
+// PaceRefresh blocks until the process-wide refresh budget admits one
+// refresh publish, or ctx cancels. Each admitted refresh reserves a
+// 1/rate slot; concurrent trial networks therefore share the budget
+// first-come-first-served instead of multiplying load.
+func PaceRefresh(ctx context.Context) error {
+	now := time.Now()
+	refreshBudget.Lock()
+	slot := time.Duration(float64(time.Second) / refreshBudget.rate)
+	if refreshBudget.next.Before(now) {
+		refreshBudget.next = now
+	}
+	wait := refreshBudget.next.Sub(now)
+	refreshBudget.next = refreshBudget.next.Add(slot)
+	if wait > 0 {
+		refreshBudget.paced++
+		refreshBudget.waited += wait
+	}
+	refreshBudget.Unlock()
+	if wait <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

@@ -1,7 +1,9 @@
 package live
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"cup/internal/cup"
 )
@@ -44,7 +46,7 @@ func TestPortBudgetAccounting(t *testing.T) {
 
 func TestTCPNetworkHoldsAndReleasesPortBudget(t *testing.T) {
 	before := PortsInUse()
-	tn, err := NewTCPNetwork(4, 1, cup.Defaults())
+	tn, err := NewTCPNetwork(Config{Nodes: 4, Seed: 1, Node: cup.Defaults()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,5 +56,50 @@ func TestTCPNetworkHoldsAndReleasesPortBudget(t *testing.T) {
 	tn.Close()
 	if got := PortsInUse(); got != before {
 		t.Fatalf("PortsInUse = %d after Close, want %d", got, before)
+	}
+}
+
+func TestRefreshBudgetPacing(t *testing.T) {
+	SetRefreshBudget(200) // 5ms slots
+	t.Cleanup(func() { SetRefreshBudget(0) })
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := PaceRefresh(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First departs immediately; the next four wait one 5ms slot each.
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("5 refreshes at 200/s finished in %v; budget not enforced", d)
+	}
+	paced, waited := RefreshPacingStats()
+	if paced == 0 || waited == 0 {
+		t.Fatalf("pacing stats empty after throttled refreshes: paced=%d waited=%v", paced, waited)
+	}
+}
+
+func TestRefreshBudgetSetAndRestore(t *testing.T) {
+	if got := SetRefreshBudget(123); got != 123 {
+		t.Fatalf("SetRefreshBudget(123) = %v", got)
+	}
+	if got := RefreshBudget(); got != 123 {
+		t.Fatalf("RefreshBudget = %v, want 123", got)
+	}
+	if got := SetRefreshBudget(0); got != DefaultRefreshBudget {
+		t.Fatalf("SetRefreshBudget(0) = %v, want default %v", got, DefaultRefreshBudget)
+	}
+}
+
+func TestPaceRefreshHonorsCancellation(t *testing.T) {
+	SetRefreshBudget(1) // 1/s: the second refresh would wait ~1s
+	t.Cleanup(func() { SetRefreshBudget(0) })
+	if err := PaceRefresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := PaceRefresh(ctx); err == nil {
+		t.Fatal("PaceRefresh outlived its context")
 	}
 }

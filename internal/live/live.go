@@ -30,19 +30,26 @@ type Stats struct {
 	QueryMsgs    uint64
 	UpdateMsgs   uint64
 	ClearBitMsgs uint64
+	// Joins and Leaves count §2.9 runtime membership events.
+	Joins  uint64
+	Leaves uint64
 }
 
 // Network hosts a set of CUP peers over an overlay.
 type Network struct {
-	ov     overlay.Overlay
+	ov     *lockedOverlay
 	router *cup.OverlayRouter
+	cfg    Config
 	delay  time.Duration
 	start  time.Time
-	nodes  []*peer
-	stats  Stats
-	wg     sync.WaitGroup
-	closed chan struct{}
-	once   sync.Once
+	// peersMu guards nodes: membership churn appends new peer slots while
+	// traffic pumps and deliveries read them.
+	peersMu sync.RWMutex
+	nodes   []*peer
+	stats   Stats
+	wg      sync.WaitGroup
+	closed  chan struct{}
+	once    sync.Once
 }
 
 type msgKind int
@@ -73,6 +80,14 @@ type peer struct {
 	// fan out to every open client connection and cancelled lookups can
 	// deregister instead of leaking.
 	waiters map[overlay.Key][]*lookupWaiter
+	// gone closes when the peer departs (§2.9): sends to it are dropped
+	// as in-flight losses and lookups at it fail fast. The slot stays in
+	// the nodes slice — IDs are dense and never reused.
+	gone chan struct{}
+	// departing is set on the peer's own goroutine by retireMember; the
+	// loop observes it after the control message and switches to the
+	// retired state.
+	departing bool
 }
 
 // lookupWaiter is one open local client connection. reply is buffered so
@@ -134,30 +149,43 @@ func NewNetwork(cfg Config) *Network {
 	cfg = cfg.withDefaults()
 	// The overlay seed derivation is shared with the simulator, so the
 	// same seed and options build the same topology on either transport.
-	ov := buildOverlay(cfg.Overlay, cfg.Nodes, cup.OverlaySeed(cfg.Seed))
+	ov := newLockedOverlay(
+		buildOverlay(cfg.Overlay, cfg.Nodes, cup.OverlaySeed(cfg.Seed)),
+		cfg.Overlay, cup.OverlaySeed(cfg.Seed)+1)
 	n := &Network{
 		ov:     ov,
 		router: cup.NewOverlayRouter(ov),
+		cfg:    cfg,
 		delay:  cfg.HopDelay,
 		start:  time.Now(),
 		closed: make(chan struct{}),
 	}
+	// Memoized routes go stale under churn; the flag must be set before
+	// any peer goroutine starts, since they read it without a lock.
+	n.router.Dynamic = ov.dynamic() != nil
 	n.nodes = make([]*peer, cfg.Nodes)
 	for i := range n.nodes {
 		id := overlay.NodeID(i)
-		p := &peer{
-			id:      id,
-			node:    cup.NewNode(id, cfg.Node, n.router, n.now),
-			inbox:   make(chan message, cfg.InboxDepth),
-			net:     n,
-			waiters: make(map[overlay.Key][]*lookupWaiter),
-		}
-		p.node.SetObserver(cfg.Observer)
+		p := n.newPeer(id)
 		n.nodes[i] = p
 		n.wg.Add(1)
 		go p.loop(&n.wg)
 	}
 	return n
+}
+
+// newPeer constructs (but does not start) one goroutine-hosted node.
+func (n *Network) newPeer(id overlay.NodeID) *peer {
+	p := &peer{
+		id:      id,
+		node:    cup.NewNode(id, n.cfg.Node, n.router, n.now),
+		inbox:   make(chan message, n.cfg.InboxDepth),
+		net:     n,
+		waiters: make(map[overlay.Key][]*lookupWaiter),
+		gone:    make(chan struct{}),
+	}
+	p.node.SetObserver(n.cfg.Observer)
+	return p
 }
 
 // now maps wall time onto the protocol's virtual clock.
@@ -166,8 +194,45 @@ func (n *Network) now() sim.Time { return sim.Time(time.Since(n.start).Seconds()
 // Now exposes the network clock (useful for constructing entry lifetimes).
 func (n *Network) Now() sim.Time { return n.now() }
 
-// Size returns the number of peers.
-func (n *Network) Size() int { return len(n.nodes) }
+// Size returns the number of peer slots ever allocated (IDs are dense
+// and never reused, so departed peers keep their slot). Use IsAlive to
+// test current membership.
+func (n *Network) Size() int {
+	n.peersMu.RLock()
+	defer n.peersMu.RUnlock()
+	return len(n.nodes)
+}
+
+// peerAt returns peer id, nil when out of range.
+func (n *Network) peerAt(id overlay.NodeID) *peer {
+	n.peersMu.RLock()
+	defer n.peersMu.RUnlock()
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		return nil
+	}
+	return n.nodes[id]
+}
+
+// peerList snapshots the peer slots.
+func (n *Network) peerList() []*peer {
+	n.peersMu.RLock()
+	defer n.peersMu.RUnlock()
+	return append([]*peer(nil), n.nodes...)
+}
+
+// IsAlive reports whether node id exists and has not departed.
+func (n *Network) IsAlive(id overlay.NodeID) bool {
+	p := n.peerAt(id)
+	if p == nil {
+		return false
+	}
+	select {
+	case <-p.gone:
+		return false
+	default:
+		return true
+	}
+}
 
 // HopDelay returns the configured per-hop wall-clock latency.
 func (n *Network) HopDelay() time.Duration { return n.delay }
@@ -191,14 +256,21 @@ func (n *Network) Stats() Stats {
 		QueryMsgs:    atomic.LoadUint64(&n.stats.QueryMsgs),
 		UpdateMsgs:   atomic.LoadUint64(&n.stats.UpdateMsgs),
 		ClearBitMsgs: atomic.LoadUint64(&n.stats.ClearBitMsgs),
+		Joins:        atomic.LoadUint64(&n.stats.Joins),
+		Leaves:       atomic.LoadUint64(&n.stats.Leaves),
 	}
 }
 
-// InboxLoad sums current occupancy and capacity across every peer's
+// InboxLoad sums current occupancy and capacity across every live peer's
 // inbox — a point-in-time congestion gauge for telemetry. Channel
 // lengths are sampled racily, which is fine for a gauge.
 func (n *Network) InboxLoad() (used, capacity int) {
-	for _, p := range n.nodes {
+	for _, p := range n.peerList() {
+		select {
+		case <-p.gone:
+			continue
+		default:
+		}
 		used += len(p.inbox)
 		capacity += cap(p.inbox)
 	}
@@ -212,18 +284,26 @@ func (n *Network) Close() {
 }
 
 // send delivers a message after the per-hop delay. Deliveries racing a
-// Close are dropped, mirroring a network partition at shutdown.
+// Close are dropped, mirroring a network partition at shutdown; sends to
+// a departed peer are dropped as in-flight losses (§2.9).
 func (n *Network) send(to overlay.NodeID, m message) {
 	time.AfterFunc(n.delay, func() {
+		p := n.peerAt(to)
+		if p == nil {
+			return
+		}
 		select {
-		case n.nodes[to].inbox <- m:
+		case p.inbox <- m:
+		case <-p.gone:
 		case <-n.closed:
 		}
 	})
 }
 
 // loop is the peer goroutine: one message at a time through the protocol
-// state machine, actions dispatched back onto the network.
+// state machine, actions dispatched back onto the network. A departing
+// peer switches to the retired state instead of exiting so that control
+// messages racing the departure always complete.
 func (p *peer) loop(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
@@ -232,6 +312,30 @@ func (p *peer) loop(wg *sync.WaitGroup) {
 			return
 		case m := <-p.inbox:
 			p.handle(m)
+			if p.departing {
+				close(p.gone)
+				p.retired()
+				return
+			}
+		}
+	}
+}
+
+// retired services a departed peer's inbox until network shutdown:
+// control callbacks still run (a caller that enqueued one while the
+// departure raced must not hang on its done channel), while protocol
+// messages are discarded — they are the departure's in-flight losses.
+// The goroutine itself is the drain; slots are never reused, so at most
+// one retired goroutine exists per departed peer.
+func (p *peer) retired() {
+	for {
+		select {
+		case <-p.net.closed:
+			return
+		case m := <-p.inbox:
+			if m.kind == msgControl {
+				m.ctrl(p)
+			}
 		}
 	}
 }
@@ -285,11 +389,18 @@ var ErrClosed = errors.New("live: network closed")
 // lookup deregisters its open connection at the peer, so abandoned
 // queries on a slow or partitioned network do not accumulate state.
 func (n *Network) Lookup(ctx context.Context, id overlay.NodeID, key overlay.Key) ([]cache.Entry, error) {
-	if int(id) < 0 || int(id) >= len(n.nodes) {
+	p := n.peerAt(id)
+	if p == nil {
 		return nil, fmt.Errorf("live: lookup at unknown node %v", id)
 	}
 	w := &lookupWaiter{reply: make(chan []cache.Entry, 1)}
 	ctrl := message{kind: msgControl, ctrl: func(p *peer) {
+		if p.departing {
+			// Departed between the aliveness race and the control's turn:
+			// answer empty rather than strand the waiter.
+			w.reply <- nil //cup:allowblocking (buffered(1), sole send)
+			return
+		}
 		acts := p.node.HandleQuery(cup.LocalClient, key, 0)
 		// A synchronous answer arrives as a DeliverLocal action; register
 		// the waiter first so both paths converge.
@@ -297,7 +408,12 @@ func (n *Network) Lookup(ctx context.Context, id overlay.NodeID, key overlay.Key
 		p.dispatch(acts)
 	}}
 	select {
-	case n.nodes[id].inbox <- ctrl:
+	case <-p.gone:
+		return nil, fmt.Errorf("live: lookup at departed node %v", id)
+	default:
+	}
+	select {
+	case p.inbox <- ctrl:
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case <-n.closed:
@@ -306,6 +422,9 @@ func (n *Network) Lookup(ctx context.Context, id overlay.NodeID, key overlay.Key
 	select {
 	case entries := <-w.reply:
 		return entries, nil
+	case <-p.gone:
+		// The peer departed with the query open; its state is gone.
+		return nil, fmt.Errorf("live: node %v departed during lookup", id)
 	case <-ctx.Done():
 		n.forgetWaiter(id, key, w)
 		return nil, ctx.Err()
@@ -319,6 +438,10 @@ func (n *Network) Lookup(ctx context.Context, id overlay.NodeID, key overlay.Key
 // down or the inbox is saturated, the buffered reply channel still keeps
 // a late answer from blocking the peer goroutine.
 func (n *Network) forgetWaiter(id overlay.NodeID, key overlay.Key, w *lookupWaiter) {
+	p := n.peerAt(id)
+	if p == nil {
+		return
+	}
 	ctrl := message{kind: msgControl, ctrl: func(p *peer) {
 		ws := p.waiters[key]
 		for i, got := range ws {
@@ -332,7 +455,7 @@ func (n *Network) forgetWaiter(id overlay.NodeID, key overlay.Key, w *lookupWait
 		}
 	}}
 	select {
-	case n.nodes[id].inbox <- ctrl:
+	case p.inbox <- ctrl:
 	case <-n.closed:
 	default:
 	}
@@ -346,7 +469,8 @@ func (n *Network) Authority(key overlay.Key) overlay.NodeID { return n.ov.Owner(
 // network closes. On cancellation fn may still run later — it was already
 // queued — but the caller stops waiting.
 func (n *Network) control(ctx context.Context, id overlay.NodeID, fn func(*peer)) error {
-	if int(id) < 0 || int(id) >= len(n.nodes) {
+	p := n.peerAt(id)
+	if p == nil {
 		return fmt.Errorf("live: control of unknown node %v", id)
 	}
 	done := make(chan struct{})
@@ -355,7 +479,7 @@ func (n *Network) control(ctx context.Context, id overlay.NodeID, fn func(*peer)
 		close(done)
 	}}
 	select {
-	case n.nodes[id].inbox <- ctrl:
+	case p.inbox <- ctrl:
 	case <-ctx.Done():
 		return ctx.Err()
 	case <-n.closed:
@@ -455,4 +579,97 @@ func (n *Network) Quiesced(window time.Duration) bool {
 		return true
 	}
 	return n.Stats() == before
+}
+
+// --- runtime membership churn (§2.9) ----------------------------------
+//
+// Network implements churnHost; the choreography itself lives in
+// churn.go and is shared with the TCP transport.
+
+func (n *Network) lov() *lockedOverlay { return n.ov }
+
+func (n *Network) invalidateRoutes() { n.router.Invalidate() }
+
+func (n *Network) slots() int { return n.Size() }
+
+func (n *Network) aliveSlot(id overlay.NodeID) bool { return n.IsAlive(id) }
+
+func (n *Network) spawnMember(id overlay.NodeID) error {
+	p := n.newPeer(id)
+	n.peersMu.Lock()
+	if int(id) != len(n.nodes) {
+		n.peersMu.Unlock()
+		return fmt.Errorf("live: spawn of non-dense node id %v (have %d slots)", id, len(n.nodes))
+	}
+	n.nodes = append(n.nodes, p)
+	n.peersMu.Unlock()
+	n.wg.Add(1)
+	go p.loop(&n.wg)
+	return nil
+}
+
+func (n *Network) retireMember(ctx context.Context, id overlay.NodeID) ([]cache.Entry, error) {
+	p := n.peerAt(id)
+	if p == nil {
+		return nil, fmt.Errorf("live: retire of unknown node %v", id)
+	}
+	var entries []cache.Entry
+	err := n.control(ctx, id, func(pp *peer) {
+		dir := pp.node.LocalDirectory()
+		for _, k := range dir.Keys() {
+			entries = append(entries, dir.All(k)...)
+			dir.RemoveKey(k)
+		}
+		pp.departing = true
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Wait for the goroutine to acknowledge (gone closes) so later
+	// aliveness checks — and the hand-over that follows — observe the
+	// departure.
+	select {
+	case <-p.gone:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-n.closed:
+		return nil, ErrClosed
+	}
+	return entries, nil
+}
+
+func (n *Network) controlNode(ctx context.Context, id overlay.NodeID, fn func(*cup.Node)) error {
+	return n.control(ctx, id, func(p *peer) { fn(p.node) })
+}
+
+func (n *Network) emitMembership(kind cup.EventKind, id overlay.NodeID) {
+	if n.cfg.Observer == nil {
+		return
+	}
+	n.cfg.Observer.OnEvent(cup.Event{Kind: kind, Time: n.now(), Node: id, Peer: overlay.NoNode})
+}
+
+func (n *Network) countChurn(join bool) {
+	if join {
+		atomic.AddUint64(&n.stats.Joins, 1)
+	} else {
+		atomic.AddUint64(&n.stats.Leaves, 1)
+	}
+}
+
+// Join adds one peer to the running network (§2.9 arrivals): the overlay
+// wires it in, a fresh goroutine starts, previous owners hand over the
+// index entries that now hash into its region, and affected neighbors
+// patch their interest bit vectors. Returns the new node's ID, or a
+// descriptive error when the overlay substrate is static.
+func (n *Network) Join(ctx context.Context) (overlay.NodeID, error) {
+	return churnJoin(ctx, n)
+}
+
+// Leave retires peer id (§2.9 departures): its directory hands over to
+// each key's new authority, its goroutine stops applying protocol state,
+// and nodes that routed through it re-knit. Errors on a static overlay,
+// an unknown or already-departed node, or the last member.
+func (n *Network) Leave(ctx context.Context, id overlay.NodeID) error {
+	return churnLeave(ctx, n, id)
 }

@@ -1,23 +1,47 @@
-// Scenario execution on the live transport: a wall-clock traffic pump
+// Scenario execution on the live transports: a wall-clock traffic pump
 // replaying cup.Traffic streams, a goroutine-per-client closed loop,
 // and the live implementation of cup.FaultSurface — the same Scenario
 // values the discrete-event driver consumes, honoring context
-// cancellation throughout.
+// cancellation throughout. Everything here is written against the
+// endpoint interface, so the goroutine and TCP networks share one
+// scenario engine.
 package live
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
+	"cup/internal/cache"
 	"cup/internal/cup"
 	"cup/internal/overlay"
 )
 
-// sleep waits d, returning early (false) on ctx cancellation or network
-// close.
-func (n *Network) sleep(ctx context.Context, d time.Duration) bool {
+// endpoint is the client surface the scenario engine drives: lookups,
+// replica lifecycle, capacity control, and §2.9 membership churn. Both
+// *Network and *TCPNetwork implement it.
+type endpoint interface {
+	Size() int
+	IsAlive(id overlay.NodeID) bool
+	Authority(key overlay.Key) overlay.NodeID
+	Lookup(ctx context.Context, id overlay.NodeID, key overlay.Key) ([]cache.Entry, error)
+	AddReplica(key overlay.Key, replica int, addr string, lifetime time.Duration)
+	RemoveReplica(key overlay.Key, replica int)
+	SetCapacity(id overlay.NodeID, c float64)
+	Join(ctx context.Context) (overlay.NodeID, error)
+	Leave(ctx context.Context, id overlay.NodeID) error
+	// Done closes when the network shuts down.
+	Done() <-chan struct{}
+}
+
+// Done exposes the shutdown channel (closes when Close is called).
+func (n *Network) Done() <-chan struct{} { return n.closed }
+
+// sleepUntil waits d, returning early (false) on ctx cancellation or
+// endpoint shutdown.
+func sleepUntil(ctx context.Context, done <-chan struct{}, d time.Duration) bool {
 	if d <= 0 {
 		return true
 	}
@@ -28,9 +52,15 @@ func (n *Network) sleep(ctx context.Context, d time.Duration) bool {
 		return true
 	case <-ctx.Done():
 		return false
-	case <-n.closed:
+	case <-done:
 		return false
 	}
+}
+
+// sleep waits d, returning early (false) on ctx cancellation or network
+// close.
+func (n *Network) sleep(ctx context.Context, d time.Duration) bool {
+	return sleepUntil(ctx, n.closed, d)
 }
 
 // wall converts scenario seconds into wall-clock time under the given
@@ -43,6 +73,18 @@ func wall(seconds, timeScale float64) time.Duration {
 	return time.Duration(seconds / timeScale * float64(time.Second))
 }
 
+// pickAlive redraws until the picked slot is a live member — under
+// churn, dense IDs include departed peers. Bounded so a pathological
+// population (everyone mid-departure) cannot spin forever.
+func pickAlive(ep endpoint, pick func() overlay.NodeID) overlay.NodeID {
+	for tries, limit := 0, 4*ep.Size()+8; tries < limit; tries++ {
+		if id := pick(); ep.IsAlive(id) {
+			return id
+		}
+	}
+	return overlay.NoNode
+}
+
 // PumpTraffic replays a Traffic stream in wall-clock time: each
 // inter-arrival gap is slept (compressed by timeScale) and the arrival
 // becomes one client lookup at the event's node. Lookups are issued
@@ -51,8 +93,12 @@ func wall(seconds, timeScale float64) time.Duration {
 // client. PumpTraffic returns when the stream ends, ctx cancels, or the
 // network closes.
 func (n *Network) PumpTraffic(ctx context.Context, tr cup.Traffic, env cup.TrafficEnv, timeScale float64) error {
+	return pumpTraffic(ctx, n, tr, env, timeScale)
+}
+
+func pumpTraffic(ctx context.Context, ep endpoint, tr cup.Traffic, env cup.TrafficEnv, timeScale float64) error {
 	if cl, ok := tr.(cup.ClosedLoop); ok {
-		return n.pumpClosedLoop(ctx, cl, env, timeScale)
+		return pumpClosedLoop(ctx, ep, cl, env, timeScale)
 	}
 	st := tr.Stream(env)
 	var wg sync.WaitGroup
@@ -64,14 +110,17 @@ func (n *Network) PumpTraffic(ctx context.Context, tr cup.Traffic, env cup.Traff
 			return nil
 		}
 		if ev.At > prev {
-			if !n.sleep(ctx, wall(ev.At-prev, timeScale)) {
+			if !sleepUntil(ctx, ep.Done(), wall(ev.At-prev, timeScale)) {
 				return ctx.Err()
 			}
 			prev = ev.At
 		}
 		nid := ev.Node
-		if nid == cup.AnyNode || int(nid) < 0 || int(nid) >= n.Size() {
-			nid = env.PickNode()
+		if nid == cup.AnyNode || int(nid) < 0 || int(nid) >= ep.Size() || !ep.IsAlive(nid) {
+			nid = pickAlive(ep, env.PickNode)
+		}
+		if nid == overlay.NoNode {
+			continue
 		}
 		key := ev.Key
 		if key == "" {
@@ -80,7 +129,7 @@ func (n *Network) PumpTraffic(ctx context.Context, tr cup.Traffic, env cup.Traff
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _ = n.Lookup(ctx, nid, key)
+			_, _ = ep.Lookup(ctx, nid, key)
 		}()
 	}
 }
@@ -89,9 +138,9 @@ func (n *Network) PumpTraffic(ctx context.Context, tr cup.Traffic, env cup.Traff
 // read the answer, think, repeat — a true closed loop in which slow
 // answers throttle the offered load. Each client owns a derived RNG so
 // the population is deterministic given the stream seed.
-func (n *Network) pumpClosedLoop(ctx context.Context, cl cup.ClosedLoop, env cup.TrafficEnv, timeScale float64) error {
+func pumpClosedLoop(ctx context.Context, ep endpoint, cl cup.ClosedLoop, env cup.TrafficEnv, timeScale float64) error {
 	clients, think := cl.Population()
-	if !n.sleep(ctx, wall(env.Start, timeScale)) {
+	if !sleepUntil(ctx, ep.Done(), wall(env.Start, timeScale)) {
 		return ctx.Err()
 	}
 	window, cancel := context.WithTimeout(ctx, wall(env.Duration, timeScale))
@@ -110,9 +159,13 @@ func (n *Network) pumpClosedLoop(ctx context.Context, cl cup.ClosedLoop, env cup
 				if window.Err() != nil {
 					return
 				}
-				at := overlay.NodeID(rng.Intn(n.Size()))
-				_, _ = n.Lookup(window, at, pickKey())
-				if !n.sleep(window, wall(rng.ExpFloat64()*think, timeScale)) {
+				at := pickAlive(ep, func() overlay.NodeID {
+					return overlay.NodeID(rng.Intn(ep.Size()))
+				})
+				if at != overlay.NoNode {
+					_, _ = ep.Lookup(window, at, pickKey())
+				}
+				if !sleepUntil(window, ep.Done(), wall(rng.ExpFloat64()*think, timeScale)) {
 					return
 				}
 			}
@@ -125,74 +178,109 @@ func (n *Network) pumpClosedLoop(ctx context.Context, cl cup.ClosedLoop, env cup
 // RunFaults replays fault scripts against the live network: every
 // script is expanded over the query window, the interventions merged
 // into one timeline, and each applied at its (compressed) wall-clock
-// instant. It returns when the timeline is exhausted, ctx cancels, or
-// the network closes.
+// instant. A failing intervention — including an unsupported operation
+// on this surface — aborts the replay with a descriptive error; no
+// scripted event is ever silently dropped. RunFaults returns when the
+// timeline is exhausted, an event fails, ctx cancels, or the network
+// closes.
 func (n *Network) RunFaults(ctx context.Context, faults []cup.Fault, surf cup.FaultSurface, start, duration, timeScale float64) error {
-	var events []cup.FaultEvent
+	return runFaults(ctx, n, faults, surf, start, duration, timeScale)
+}
+
+type timedFault struct {
+	cup.FaultEvent
+	name string
+}
+
+func runFaults(ctx context.Context, ep endpoint, faults []cup.Fault, surf cup.FaultSurface, start, duration, timeScale float64) error {
+	var events []timedFault
 	for _, f := range faults {
-		events = append(events, f.Schedule(start, duration)...)
+		name := f.Name()
+		for _, ev := range f.Schedule(start, duration) {
+			events = append(events, timedFault{FaultEvent: ev, name: name})
+		}
 	}
-	cup.SortFaultEvents(events)
+	sortTimedFaults(events)
 	prev := 0.0
 	for _, ev := range events {
 		if ev.At > prev {
-			if !n.sleep(ctx, wall(ev.At-prev, timeScale)) {
+			if !sleepUntil(ctx, ep.Done(), wall(ev.At-prev, timeScale)) {
 				return ctx.Err()
 			}
 			prev = ev.At
 		}
-		ev.Do(surf)
+		if err := ev.Do(surf); err != nil {
+			return fmt.Errorf("live: fault %q at t=%gs: %w", ev.name, ev.At, err)
+		}
 	}
 	return nil
 }
 
-// FaultSurface builds the live implementation of cup.FaultSurface.
-// Capacity interventions and replica churn act on the running network;
-// membership churn (Join/Leave) is simulator-only today and reports
-// unsupported.
+// sortTimedFaults orders the merged timeline by time, stably, matching
+// cup.SortFaultEvents.
+func sortTimedFaults(events []timedFault) {
+	// Insertion sort keeps the merge stable and allocation-free; fault
+	// timelines are tens of events, not thousands.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].At < events[j-1].At; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+}
+
+// FaultSurface builds the live implementation of cup.FaultSurface:
+// capacity interventions, replica churn, and — on a dynamic overlay —
+// §2.9 membership churn all act on the running network. Operations the
+// substrate cannot honor return descriptive errors.
 func (n *Network) FaultSurface(keys []overlay.Key, replicas int, lifetime time.Duration, rng *rand.Rand) cup.FaultSurface {
-	return &liveSurface{n: n, keys: keys, replicas: replicas, lifetime: lifetime, rng: rng}
+	return &liveSurface{ep: n, keys: keys, replicas: replicas, lifetime: lifetime, rng: rng}
 }
 
 type liveSurface struct {
-	n        *Network
+	ep       endpoint
 	keys     []overlay.Key
 	replicas int
 	lifetime time.Duration
 	rng      *rand.Rand
 }
 
-func (s *liveSurface) Size() int                            { return s.n.Size() }
+func (s *liveSurface) Size() int                            { return s.ep.Size() }
 func (s *liveSurface) Keys() []overlay.Key                  { return s.keys }
 func (s *liveSurface) Replicas() int                        { return s.replicas }
 func (s *liveSurface) Rand() *rand.Rand                     { return s.rng }
-func (s *liveSurface) Alive(id overlay.NodeID) bool         { return int(id) >= 0 && int(id) < s.n.Size() }
-func (s *liveSurface) Owner(key overlay.Key) overlay.NodeID { return s.n.Authority(key) }
-func (s *liveSurface) Join() (overlay.NodeID, bool)         { return 0, false }
-func (s *liveSurface) Leave(overlay.NodeID) bool            { return false }
+func (s *liveSurface) Alive(id overlay.NodeID) bool         { return s.ep.IsAlive(id) }
+func (s *liveSurface) Owner(key overlay.Key) overlay.NodeID { return s.ep.Authority(key) }
+
+// Join and Leave run under background contexts: fault application has
+// no per-event deadline, and network shutdown still cancels the
+// underlying control operations.
+func (s *liveSurface) Join() (overlay.NodeID, error) { return s.ep.Join(context.Background()) }
+func (s *liveSurface) Leave(id overlay.NodeID) error { return s.ep.Leave(context.Background(), id) }
 
 func (s *liveSurface) RandomNodes(k int) []overlay.NodeID {
-	perm := s.rng.Perm(s.n.Size())
-	if k > len(perm) {
-		k = len(perm)
-	}
-	out := make([]overlay.NodeID, k)
-	for i := 0; i < k; i++ {
-		out[i] = overlay.NodeID(perm[i])
+	perm := s.rng.Perm(s.ep.Size())
+	out := make([]overlay.NodeID, 0, k)
+	for _, i := range perm {
+		if len(out) == k {
+			break
+		}
+		if id := overlay.NodeID(i); s.ep.IsAlive(id) {
+			out = append(out, id)
+		}
 	}
 	return out
 }
 
 func (s *liveSurface) SetCapacity(ids []overlay.NodeID, c float64) {
 	for _, id := range ids {
-		s.n.SetCapacity(id, c)
+		s.ep.SetCapacity(id, c)
 	}
 }
 
 func (s *liveSurface) AddReplica(key overlay.Key, r int) {
-	s.n.AddReplica(key, r, cup.ReplicaAddr(r), s.lifetime)
+	s.ep.AddReplica(key, r, cup.ReplicaAddr(r), s.lifetime)
 }
 
 func (s *liveSurface) RemoveReplica(key overlay.Key, r int) {
-	s.n.RemoveReplica(key, r)
+	s.ep.RemoveReplica(key, r)
 }

@@ -3,8 +3,10 @@ package live
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cup/internal/cache"
@@ -19,16 +21,25 @@ import (
 // are wire-encoded frames over persistent connections, and the protocol
 // state machine is the same internal/cup.Node the simulator drives. This
 // is the deployment shape the paper describes — two logical channels per
-// neighbor — expressed as sockets.
+// neighbor — expressed as sockets. It implements the same endpoint
+// surface as *Network, including §2.9 runtime membership churn, so the
+// scenario engine and the Deployment trial loop drive both.
 type TCPNetwork struct {
-	ov     overlay.Overlay
+	ov     *lockedOverlay
 	router *cup.OverlayRouter
+	cfg    Config
 	start  time.Time
-	peers  []*tcpPeer
-	ports  int // listeners reserved against the shared port budget
-	wg     sync.WaitGroup
-	closed chan struct{}
-	once   sync.Once
+	// peersMu guards peers: churn appends new slots while traffic reads.
+	peersMu sync.RWMutex
+	peers   []*tcpPeer
+	// portsMu guards ports, the listener count currently reserved against
+	// the shared port budget (churn adjusts it at runtime).
+	portsMu sync.Mutex
+	ports   int
+	stats   Stats
+	wg      sync.WaitGroup
+	closed  chan struct{}
+	once    sync.Once
 }
 
 // tcpPeer is one protocol endpoint: a listener, an inbox serializing all
@@ -40,6 +51,11 @@ type tcpPeer struct {
 	ln      net.Listener
 	inbox   chan tcpWork
 	waiters map[overlay.Key][]chan []cache.Entry
+	// gone closes when the peer departs (§2.9); departing is set on the
+	// peer's goroutine — see the goroutine transport's peer for the
+	// retirement protocol both share.
+	gone      chan struct{}
+	departing bool
 
 	mu    sync.Mutex // guards conns
 	conns map[overlay.NodeID]net.Conn
@@ -52,45 +68,38 @@ type tcpWork struct {
 	ctrl func(*tcpPeer)
 }
 
-// NewTCPNetwork starts n peers listening on 127.0.0.1 ephemeral ports
-// over a seeded CAN overlay. The n listeners are drawn from the shared
-// port budget (see budget.go), so concurrent networks fail fast instead
-// of racing the kernel's ephemeral-port range. Close releases all
-// sockets, goroutines, and the budget reservation.
-func NewTCPNetwork(n int, seed int64, cfg cup.Config) (*TCPNetwork, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("live: need at least one peer, got %d", n)
+// NewTCPNetwork starts cfg.Nodes peers listening on 127.0.0.1 ephemeral
+// ports over the configured overlay substrate. The listeners are drawn
+// from the shared port budget (see budget.go), so concurrent networks
+// fail fast instead of racing the kernel's ephemeral-port range; every
+// error path releases the reservation. Close releases all sockets,
+// goroutines, and the budget reservation.
+func NewTCPNetwork(cfg Config) (*TCPNetwork, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("live: need at least one peer, got %d", cfg.Nodes)
 	}
-	if err := acquirePorts(n); err != nil {
+	cfg = cfg.withDefaults()
+	if err := acquirePorts(cfg.Nodes); err != nil {
 		return nil, err
 	}
-	if cfg.Policy == nil {
-		cfg = cup.Defaults()
-	}
-	ov := buildOverlay("can", n, seed)
+	ov := newLockedOverlay(
+		buildOverlay(cfg.Overlay, cfg.Nodes, cup.OverlaySeed(cfg.Seed)),
+		cfg.Overlay, cup.OverlaySeed(cfg.Seed)+1)
 	tn := &TCPNetwork{
 		ov:     ov,
 		router: cup.NewOverlayRouter(ov),
+		cfg:    cfg,
 		start:  time.Now(),
-		ports:  n,
+		ports:  cfg.Nodes,
 		closed: make(chan struct{}),
 	}
-	tn.peers = make([]*tcpPeer, n)
+	tn.router.Dynamic = ov.dynamic() != nil
+	tn.peers = make([]*tcpPeer, cfg.Nodes)
 	for i := range tn.peers {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		p, err := tn.newTCPPeer(overlay.NodeID(i))
 		if err != nil {
 			tn.Close()
-			return nil, fmt.Errorf("live: listen: %w", err)
-		}
-		id := overlay.NodeID(i)
-		p := &tcpPeer{
-			id:      id,
-			node:    cup.NewNode(id, cfg, tn.router, tn.now),
-			net:     tn,
-			ln:      ln,
-			inbox:   make(chan tcpWork, 256),
-			waiters: make(map[overlay.Key][]chan []cache.Entry),
-			conns:   make(map[overlay.NodeID]net.Conn),
+			return nil, err
 		}
 		tn.peers[i] = p
 	}
@@ -102,38 +111,160 @@ func NewTCPNetwork(n int, seed int64, cfg cup.Config) (*TCPNetwork, error) {
 	return tn, nil
 }
 
+// newTCPPeer binds one loopback listener and constructs (but does not
+// start) the peer that owns it.
+func (tn *TCPNetwork) newTCPPeer(id overlay.NodeID) (*tcpPeer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("live: listen: %w", err)
+	}
+	p := &tcpPeer{
+		id:      id,
+		node:    cup.NewNode(id, tn.cfg.Node, tn.router, tn.now),
+		net:     tn,
+		ln:      ln,
+		inbox:   make(chan tcpWork, tn.cfg.InboxDepth),
+		waiters: make(map[overlay.Key][]chan []cache.Entry),
+		gone:    make(chan struct{}),
+		conns:   make(map[overlay.NodeID]net.Conn),
+	}
+	p.node.SetObserver(tn.cfg.Observer)
+	return p, nil
+}
+
 func (tn *TCPNetwork) now() sim.Time { return sim.Time(time.Since(tn.start).Seconds()) }
 
-// Size returns the number of peers.
-func (tn *TCPNetwork) Size() int { return len(tn.peers) }
+// Now exposes the network clock.
+func (tn *TCPNetwork) Now() sim.Time { return tn.now() }
+
+// Size returns the number of peer slots ever allocated (dense IDs,
+// never reused); use IsAlive for current membership.
+func (tn *TCPNetwork) Size() int {
+	tn.peersMu.RLock()
+	defer tn.peersMu.RUnlock()
+	return len(tn.peers)
+}
+
+func (tn *TCPNetwork) peerAt(id overlay.NodeID) *tcpPeer {
+	tn.peersMu.RLock()
+	defer tn.peersMu.RUnlock()
+	if int(id) < 0 || int(id) >= len(tn.peers) {
+		return nil
+	}
+	return tn.peers[id]
+}
+
+func (tn *TCPNetwork) peerList() []*tcpPeer {
+	tn.peersMu.RLock()
+	defer tn.peersMu.RUnlock()
+	return append([]*tcpPeer(nil), tn.peers...)
+}
+
+// IsAlive reports whether node id exists and has not departed.
+func (tn *TCPNetwork) IsAlive(id overlay.NodeID) bool {
+	p := tn.peerAt(id)
+	if p == nil {
+		return false
+	}
+	select {
+	case <-p.gone:
+		return false
+	default:
+		return true
+	}
+}
+
+// Done closes when the network shuts down.
+func (tn *TCPNetwork) Done() <-chan struct{} { return tn.closed }
+
+// IsClosed reports whether Close has been called.
+func (tn *TCPNetwork) IsClosed() bool {
+	select {
+	case <-tn.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// HopDelay is zero: hops cost real loopback round-trips, not an
+// injected delay.
+func (tn *TCPNetwork) HopDelay() time.Duration { return 0 }
 
 // Addr returns the listen address of peer id (for external clients).
-func (tn *TCPNetwork) Addr(id overlay.NodeID) string { return tn.peers[id].ln.Addr().String() }
+func (tn *TCPNetwork) Addr(id overlay.NodeID) string { return tn.peerAt(id).ln.Addr().String() }
 
 // Authority returns the node owning key.
 func (tn *TCPNetwork) Authority(key overlay.Key) overlay.NodeID { return tn.ov.Owner(key) }
+
+// Stats returns a snapshot of message counters.
+func (tn *TCPNetwork) Stats() Stats {
+	return Stats{
+		QueryMsgs:    atomic.LoadUint64(&tn.stats.QueryMsgs),
+		UpdateMsgs:   atomic.LoadUint64(&tn.stats.UpdateMsgs),
+		ClearBitMsgs: atomic.LoadUint64(&tn.stats.ClearBitMsgs),
+		Joins:        atomic.LoadUint64(&tn.stats.Joins),
+		Leaves:       atomic.LoadUint64(&tn.stats.Leaves),
+	}
+}
+
+// InboxLoad sums occupancy and capacity across live peers' inboxes.
+func (tn *TCPNetwork) InboxLoad() (used, capacity int) {
+	for _, p := range tn.peerList() {
+		select {
+		case <-p.gone:
+			continue
+		default:
+		}
+		used += len(p.inbox)
+		capacity += cap(p.inbox)
+	}
+	return used, capacity
+}
+
+// Quiesced reports whether no messages were counted across one probe
+// window, as on the goroutine transport.
+func (tn *TCPNetwork) Quiesced(window time.Duration) bool {
+	before := tn.Stats()
+	timer := time.NewTimer(window)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-tn.closed:
+		return true
+	}
+	return tn.Stats() == before
+}
 
 // Close tears the network down: listeners, connections, goroutines, and
 // the port-budget reservation.
 func (tn *TCPNetwork) Close() {
 	tn.once.Do(func() {
 		close(tn.closed)
-		for _, p := range tn.peers {
+		for _, p := range tn.peerList() {
 			if p == nil {
 				continue
 			}
-			if p.ln != nil {
-				p.ln.Close()
-			}
-			p.mu.Lock()
-			for _, c := range p.conns {
-				c.Close()
-			}
-			p.mu.Unlock()
+			p.shutdownSockets()
 		}
+		tn.portsMu.Lock()
 		releasePorts(tn.ports)
+		tn.ports = 0
+		tn.portsMu.Unlock()
 	})
 	tn.wg.Wait()
+}
+
+// shutdownSockets closes the peer's listener and every open connection.
+func (p *tcpPeer) shutdownSockets() {
+	if p.ln != nil {
+		p.ln.Close()
+	}
+	p.mu.Lock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
 }
 
 // acceptLoop takes inbound connections and spawns frame readers.
@@ -160,13 +291,17 @@ func (p *tcpPeer) readLoop(conn net.Conn, wg *sync.WaitGroup) {
 		}
 		select {
 		case p.inbox <- tcpWork{msg: m}:
+		case <-p.gone:
+			return
 		case <-p.net.closed:
 			return
 		}
 	}
 }
 
-// workLoop is the peer's single protocol goroutine.
+// workLoop is the peer's single protocol goroutine. A departing peer
+// switches to the retired state instead of exiting, so control closures
+// racing the departure always complete.
 func (p *tcpPeer) workLoop(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
@@ -176,9 +311,29 @@ func (p *tcpPeer) workLoop(wg *sync.WaitGroup) {
 		case w := <-p.inbox:
 			if w.ctrl != nil {
 				w.ctrl(p)
-				continue
+			} else {
+				p.handleWire(w.msg)
 			}
-			p.handleWire(w.msg)
+			if p.departing {
+				close(p.gone)
+				p.retired()
+				return
+			}
+		}
+	}
+}
+
+// retired services control closures (only) until network shutdown;
+// protocol frames are the departure's in-flight losses.
+func (p *tcpPeer) retired() {
+	for {
+		select {
+		case <-p.net.closed:
+			return
+		case w := <-p.inbox:
+			if w.ctrl != nil {
+				w.ctrl(p)
+			}
 		}
 	}
 }
@@ -202,10 +357,13 @@ func (p *tcpPeer) dispatch(acts []cup.Action) {
 	for _, a := range acts {
 		switch a.Kind {
 		case cup.ActSendQuery:
+			atomic.AddUint64(&p.net.stats.QueryMsgs, 1)
 			p.sendWire(a.To, wire.Query{From: p.id, Key: a.Key, QueryID: a.QueryID})
 		case cup.ActSendUpdate:
+			atomic.AddUint64(&p.net.stats.UpdateMsgs, 1)
 			p.sendWire(a.To, wire.UpdateMsg{From: p.id, Update: a.Update})
 		case cup.ActSendClearBit:
+			atomic.AddUint64(&p.net.stats.ClearBitMsgs, 1)
 			p.sendWire(a.To, wire.ClearBit{From: p.id, Key: a.Key})
 		case cup.ActDeliverLocal:
 			for _, ch := range p.waiters[a.Key] {
@@ -222,7 +380,9 @@ func (p *tcpPeer) dispatch(acts []cup.Action) {
 // sendWire writes a frame on the persistent connection to a neighbor,
 // dialing on first use. Failures drop the message and the connection —
 // CUP tolerates lost updates by falling back to expiration (§2.8), and a
-// lost query is re-issued by the client.
+// lost query is re-issued by the client. A departed peer's listener is
+// closed, so frames to it fail the dial and drop, mirroring §2.9
+// in-flight losses.
 func (p *tcpPeer) sendWire(to overlay.NodeID, m wire.Message) {
 	conn, err := p.connTo(to)
 	if err != nil {
@@ -239,12 +399,16 @@ func (p *tcpPeer) sendWire(to overlay.NodeID, m wire.Message) {
 }
 
 func (p *tcpPeer) connTo(to overlay.NodeID) (net.Conn, error) {
+	target := p.net.peerAt(to)
+	if target == nil {
+		return nil, fmt.Errorf("live: no peer %v", to)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if c, ok := p.conns[to]; ok {
 		return c, nil
 	}
-	c, err := net.DialTimeout("tcp", p.net.peers[to].ln.Addr().String(), 2*time.Second)
+	c, err := net.DialTimeout("tcp", target.ln.Addr().String(), 2*time.Second)
 	if err != nil {
 		return nil, err
 	}
@@ -258,48 +422,251 @@ func (p *tcpPeer) connTo(to overlay.NodeID) (net.Conn, error) {
 
 // Lookup posts a query for key at peer id and waits for the answer.
 func (tn *TCPNetwork) Lookup(ctx context.Context, id overlay.NodeID, key overlay.Key) ([]cache.Entry, error) {
+	p := tn.peerAt(id)
+	if p == nil {
+		return nil, fmt.Errorf("live: lookup at unknown node %v", id)
+	}
 	reply := make(chan []cache.Entry, 1)
 	work := tcpWork{ctrl: func(p *tcpPeer) {
+		if p.departing {
+			reply <- nil //cup:allowblocking (buffered(1), sole send)
+			return
+		}
 		acts := p.node.HandleQuery(cup.LocalClient, key, 0)
 		p.waiters[key] = append(p.waiters[key], reply)
 		p.dispatch(acts)
 	}}
 	select {
-	case tn.peers[id].inbox <- work:
+	case <-p.gone:
+		return nil, fmt.Errorf("live: lookup at departed node %v", id)
+	default:
+	}
+	select {
+	case p.inbox <- work:
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	case <-tn.closed:
+		return nil, ErrClosed
 	}
 	select {
 	case entries := <-reply:
 		return entries, nil
+	case <-p.gone:
+		return nil, fmt.Errorf("live: node %v departed during lookup", id)
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case <-tn.closed:
-		return nil, fmt.Errorf("live: network closed")
+		return nil, ErrClosed
+	}
+}
+
+// control runs fn on peer id's goroutine and blocks until it completes,
+// ctx cancels, or the network closes.
+func (tn *TCPNetwork) control(ctx context.Context, id overlay.NodeID, fn func(*tcpPeer)) error {
+	p := tn.peerAt(id)
+	if p == nil {
+		return fmt.Errorf("live: control of unknown node %v", id)
+	}
+	done := make(chan struct{})
+	work := tcpWork{ctrl: func(p *tcpPeer) {
+		fn(p)
+		close(done)
+	}}
+	select {
+	case p.inbox <- work:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-tn.closed:
+		return ErrClosed
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-tn.closed:
+		return ErrClosed
 	}
 }
 
 // AddReplica installs an index entry at the authority and announces it.
 func (tn *TCPNetwork) AddReplica(key overlay.Key, replica int, addr string, lifetime time.Duration) {
-	tn.replicaEvent(key, replica, addr, lifetime, cup.Append)
+	_ = tn.AddReplicaCtx(context.Background(), key, replica, addr, lifetime)
+}
+
+// AddReplicaCtx is AddReplica with cancellation.
+func (tn *TCPNetwork) AddReplicaCtx(ctx context.Context, key overlay.Key, replica int, addr string, lifetime time.Duration) error {
+	return tn.replicaEvent(ctx, key, replica, addr, lifetime, cup.Append)
 }
 
 // Refresh extends (key, replica)'s lifetime, propagating to subscribers.
 func (tn *TCPNetwork) Refresh(key overlay.Key, replica int, addr string, lifetime time.Duration) {
-	tn.replicaEvent(key, replica, addr, lifetime, cup.Refresh)
+	_ = tn.RefreshCtx(context.Background(), key, replica, addr, lifetime)
 }
 
-func (tn *TCPNetwork) replicaEvent(key overlay.Key, replica int, addr string, lifetime time.Duration, ty cup.UpdateType) {
+// RefreshCtx is Refresh with cancellation.
+func (tn *TCPNetwork) RefreshCtx(ctx context.Context, key overlay.Key, replica int, addr string, lifetime time.Duration) error {
+	return tn.replicaEvent(ctx, key, replica, addr, lifetime, cup.Refresh)
+}
+
+func (tn *TCPNetwork) replicaEvent(ctx context.Context, key overlay.Key, replica int, addr string, lifetime time.Duration, ty cup.UpdateType) error {
 	life := sim.Duration(lifetime.Seconds())
-	work := tcpWork{ctrl: func(p *tcpPeer) {
+	return tn.control(ctx, tn.Authority(key), func(p *tcpPeer) {
 		e := cache.Entry{Key: key, Replica: replica, Addr: addr, Expires: p.net.now().Add(life)}
 		p.node.InstallLocal(e)
 		u := cup.Update{Key: key, Type: ty, Entries: []cache.Entry{e}, Replica: replica,
 			Expires: e.Expires, Lifetime: life}
 		p.dispatch(p.node.OriginateUpdate(u))
-	}}
-	select {
-	case tn.peers[tn.Authority(key)].inbox <- work:
-	case <-tn.closed:
+	})
+}
+
+// RemoveReplica deletes (key, replica) at the authority and propagates a
+// Delete update.
+func (tn *TCPNetwork) RemoveReplica(key overlay.Key, replica int) {
+	_ = tn.RemoveReplicaCtx(context.Background(), key, replica)
+}
+
+// RemoveReplicaCtx is RemoveReplica with cancellation.
+func (tn *TCPNetwork) RemoveReplicaCtx(ctx context.Context, key overlay.Key, replica int) error {
+	return tn.control(ctx, tn.Authority(key), func(p *tcpPeer) {
+		p.node.RemoveLocal(key, replica)
+		u := cup.Update{
+			Key: key, Type: cup.Delete, Replica: replica,
+			Expires: p.net.now().Add(sim.Duration(3600)),
+		}
+		p.dispatch(p.node.OriginateUpdate(u))
+	})
+}
+
+// SetCapacity adjusts a peer's outgoing update capacity fraction.
+func (tn *TCPNetwork) SetCapacity(id overlay.NodeID, c float64) {
+	_ = tn.control(context.Background(), id, func(p *tcpPeer) { p.node.SetCapacity(c) })
+}
+
+// Inspect runs fn on node id's goroutine with exclusive access to its
+// protocol state.
+func (tn *TCPNetwork) Inspect(id overlay.NodeID, fn func(*cup.Node)) {
+	_ = tn.control(context.Background(), id, func(p *tcpPeer) { fn(p.node) })
+}
+
+// PumpTraffic replays a Traffic stream against the TCP peers — the same
+// scenario engine as the goroutine transport.
+func (tn *TCPNetwork) PumpTraffic(ctx context.Context, tr cup.Traffic, env cup.TrafficEnv, timeScale float64) error {
+	return pumpTraffic(ctx, tn, tr, env, timeScale)
+}
+
+// RunFaults replays fault scripts against the TCP peers; a failing
+// intervention aborts with a descriptive error.
+func (tn *TCPNetwork) RunFaults(ctx context.Context, faults []cup.Fault, surf cup.FaultSurface, start, duration, timeScale float64) error {
+	return runFaults(ctx, tn, faults, surf, start, duration, timeScale)
+}
+
+// FaultSurface builds the fault control plane over this network.
+func (tn *TCPNetwork) FaultSurface(keys []overlay.Key, replicas int, lifetime time.Duration, rng *rand.Rand) cup.FaultSurface {
+	return &liveSurface{ep: tn, keys: keys, replicas: replicas, lifetime: lifetime, rng: rng}
+}
+
+// --- runtime membership churn (§2.9) ----------------------------------
+
+func (tn *TCPNetwork) lov() *lockedOverlay { return tn.ov }
+
+func (tn *TCPNetwork) invalidateRoutes() { tn.router.Invalidate() }
+
+func (tn *TCPNetwork) slots() int { return tn.Size() }
+
+func (tn *TCPNetwork) aliveSlot(id overlay.NodeID) bool { return tn.IsAlive(id) }
+
+func (tn *TCPNetwork) spawnMember(id overlay.NodeID) error {
+	// One more listener against the shared budget; released on any
+	// failure so churn keeps the ledger balanced.
+	if err := acquirePorts(1); err != nil {
+		return err
 	}
+	p, err := tn.newTCPPeer(id)
+	if err != nil {
+		releasePorts(1)
+		return err
+	}
+	tn.peersMu.Lock()
+	if int(id) != len(tn.peers) {
+		tn.peersMu.Unlock()
+		p.shutdownSockets()
+		releasePorts(1)
+		return fmt.Errorf("live: spawn of non-dense node id %v (have %d slots)", id, len(tn.peers))
+	}
+	tn.peers = append(tn.peers, p)
+	tn.peersMu.Unlock()
+	tn.portsMu.Lock()
+	tn.ports++
+	tn.portsMu.Unlock()
+	tn.wg.Add(2)
+	go p.acceptLoop(&tn.wg)
+	go p.workLoop(&tn.wg)
+	return nil
+}
+
+func (tn *TCPNetwork) retireMember(ctx context.Context, id overlay.NodeID) ([]cache.Entry, error) {
+	p := tn.peerAt(id)
+	if p == nil {
+		return nil, fmt.Errorf("live: retire of unknown node %v", id)
+	}
+	var entries []cache.Entry
+	err := tn.control(ctx, id, func(pp *tcpPeer) {
+		dir := pp.node.LocalDirectory()
+		for _, k := range dir.Keys() {
+			entries = append(entries, dir.All(k)...)
+			dir.RemoveKey(k)
+		}
+		pp.departing = true
+	})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-p.gone:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-tn.closed:
+		return nil, ErrClosed
+	}
+	// The departed peer's sockets close now: dials to it fail and its
+	// budget reservation returns to the pool.
+	p.shutdownSockets()
+	tn.portsMu.Lock()
+	if tn.ports > 0 {
+		tn.ports--
+		releasePorts(1)
+	}
+	tn.portsMu.Unlock()
+	return entries, nil
+}
+
+func (tn *TCPNetwork) controlNode(ctx context.Context, id overlay.NodeID, fn func(*cup.Node)) error {
+	return tn.control(ctx, id, func(p *tcpPeer) { fn(p.node) })
+}
+
+func (tn *TCPNetwork) emitMembership(kind cup.EventKind, id overlay.NodeID) {
+	if tn.cfg.Observer == nil {
+		return
+	}
+	tn.cfg.Observer.OnEvent(cup.Event{Kind: kind, Time: tn.now(), Node: id, Peer: overlay.NoNode})
+}
+
+func (tn *TCPNetwork) countChurn(join bool) {
+	if join {
+		atomic.AddUint64(&tn.stats.Joins, 1)
+	} else {
+		atomic.AddUint64(&tn.stats.Leaves, 1)
+	}
+}
+
+// Join adds one TCP peer to the running network (§2.9 arrivals); see
+// Network.Join.
+func (tn *TCPNetwork) Join(ctx context.Context) (overlay.NodeID, error) {
+	return churnJoin(ctx, tn)
+}
+
+// Leave retires TCP peer id (§2.9 departures); see Network.Leave.
+func (tn *TCPNetwork) Leave(ctx context.Context, id overlay.NodeID) error {
+	return churnLeave(ctx, tn, id)
 }

@@ -15,7 +15,7 @@ import (
 func defaultCfg() cup.Config { return cup.Defaults() }
 
 func TestTCPLookupFindsReplica(t *testing.T) {
-	tn, err := NewTCPNetwork(12, 3, defaultCfg())
+	tn, err := NewTCPNetwork(Config{Nodes: 12, Seed: 3, Node: defaultCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestTCPLookupFindsReplica(t *testing.T) {
 }
 
 func TestTCPSecondLookupIsCached(t *testing.T) {
-	tn, err := NewTCPNetwork(16, 3, defaultCfg())
+	tn, err := NewTCPNetwork(Config{Nodes: 16, Seed: 3, Node: defaultCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestTCPSecondLookupIsCached(t *testing.T) {
 }
 
 func TestTCPConcurrentLookups(t *testing.T) {
-	tn, err := NewTCPNetwork(24, 3, defaultCfg())
+	tn, err := NewTCPNetwork(Config{Nodes: 24, Seed: 3, Node: defaultCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestTCPConcurrentLookups(t *testing.T) {
 }
 
 func TestTCPRefreshReachesSubscriber(t *testing.T) {
-	tn, err := NewTCPNetwork(12, 3, defaultCfg())
+	tn, err := NewTCPNetwork(Config{Nodes: 12, Seed: 3, Node: defaultCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,13 +123,13 @@ func TestTCPRefreshReachesSubscriber(t *testing.T) {
 }
 
 func TestTCPInvalidSize(t *testing.T) {
-	if _, err := NewTCPNetwork(0, 1, defaultCfg()); err == nil {
+	if _, err := NewTCPNetwork(Config{Nodes: 0, Seed: 1, Node: defaultCfg()}); err == nil {
 		t.Fatal("0 peers accepted")
 	}
 }
 
 func TestTCPAddrIsRoutable(t *testing.T) {
-	tn, err := NewTCPNetwork(4, 3, defaultCfg())
+	tn, err := NewTCPNetwork(Config{Nodes: 4, Seed: 3, Node: defaultCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestTCPAddrIsRoutable(t *testing.T) {
 }
 
 func TestTCPCloseIdempotent(t *testing.T) {
-	tn, err := NewTCPNetwork(4, 3, defaultCfg())
+	tn, err := NewTCPNetwork(Config{Nodes: 4, Seed: 3, Node: defaultCfg()})
 	if err != nil {
 		t.Fatal(err)
 	}

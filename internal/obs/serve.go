@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -91,5 +92,20 @@ func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
 // Addr returns the bound address, e.g. "127.0.0.1:43117".
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and releases its port.
+// Close stops the server immediately and releases its port. In-flight
+// requests are aborted; use Shutdown for a graceful drain.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new connections, then waits for in-flight
+// requests to complete or ctx to expire — http.Server.Shutdown
+// semantics. On ctx expiry the remaining connections are force-closed
+// so the port is released either way.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// The drain deadline passed with requests still in flight:
+		// fall back to a hard close rather than leak the listener.
+		_ = s.srv.Close()
+	}
+	return err
+}

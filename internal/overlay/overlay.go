@@ -46,14 +46,25 @@ type Point struct {
 	X, Y float64
 }
 
-// hash64 hashes s with 64-bit FNV-1a, optionally salted.
+// hash64 hashes s with 64-bit FNV-1a, optionally salted, then runs the
+// splitmix64 finalizer. Raw FNV-1a has a weak avalanche: keys differing
+// only in a trailing digit ("key-0", "key-1", …) land on near-identical
+// high bits, which clustered every workload key onto one CAN zone and
+// broke the paper's "uniform hash function that evenly distributes the
+// keys" assumption. The finalizer restores full-width diffusion.
 func hash64(s string, salt byte) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
 	if salt != 0 {
 		h.Write([]byte{salt})
 	}
-	return h.Sum64()
+	v := h.Sum64()
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
 }
 
 // unit maps a 64-bit hash to [0,1).

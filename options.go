@@ -22,12 +22,19 @@ const (
 	Simulated Transport = iota
 	// Live runs the deployment as one goroutine per peer.
 	Live
+	// LiveTCP runs the deployment as one OS socket per peer: every node
+	// binds a loopback TCP listener and protocol messages travel as wire
+	// frames. Same protocol core, same event stream, real serialization.
+	LiveTCP
 )
 
 // String implements fmt.Stringer.
 func (t Transport) String() string {
-	if t == Live {
+	switch t {
+	case Live:
 		return "live"
+	case LiveTCP:
+		return "live-tcp"
 	}
 	return "simulated"
 }
@@ -65,6 +72,9 @@ type options struct {
 	serving    []string
 	admitRate  float64
 	admitBurst int
+	// refreshBudget overrides the process-wide refresh pacing budget
+	// (refresh publishes/second shared across all live trial networks).
+	refreshBudget float64
 	// errs collects option-level validation failures; New reports them
 	// all at once instead of building a broken deployment.
 	errs []error
@@ -92,6 +102,9 @@ func WithTransport(t Transport) Option {
 
 // WithLive is shorthand for WithTransport(Live).
 func WithLive() Option { return WithTransport(Live) }
+
+// WithTCP is shorthand for WithTransport(LiveTCP).
+func WithTCP() Option { return WithTransport(LiveTCP) }
 
 // WithNodes sets the overlay size (default 1024, the paper's n = 2^10).
 // A non-positive count is a configuration error reported by New.
@@ -430,6 +443,23 @@ func WithInboxDepth(n int) Option {
 			return
 		}
 		o.inboxDepth = n
+	}
+}
+
+// WithRefreshBudget sets the process-wide refresh pacing budget: the
+// total replica-refresh publishes per second shared by every live trial
+// network running in this process (default internal/live's 2048/s).
+// Refresh pumps are the one open-loop load source trials generate, so
+// the budget keeps an N-trial sweep from multiplying refresh load N× on
+// one machine. Process-wide by design — the last deployment built wins.
+// A non-positive rate is a configuration error reported by New.
+func WithRefreshBudget(perSec float64) Option {
+	return func(o *options) {
+		if perSec <= 0 {
+			o.reject("refresh budget %g/s must be positive", perSec)
+			return
+		}
+		o.refreshBudget = perSec
 	}
 }
 

@@ -153,19 +153,26 @@ func TestSimLiveEventParity(t *testing.T) {
 // API inverted the driver's control flow (queries are now externally
 // supplied Traffic events), and these anchors hold that inversion to
 // bit-identical behavior on every overlay.
+//
+// Re-captured when overlay.hash64 gained its splitmix64 finalizer: raw
+// FNV-1a clustered sequential key names onto near-identical points, so
+// fixing key dispersion moved every authority assignment (and with it
+// the exact counter values). The invariant the test protects — the
+// Params path and the Traffic API agreeing bit-for-bit with one
+// recorded run — is unchanged.
 var goldenPoisson = map[string]cup.Counters{
-	"can": {Queries: 2963, Hits: 2813, FirstTimeMisses: 141, FreshnessMisses: 9,
-		Coalesced: 3, QueryHops: 271, ResponseHops: 271, UpdateHops: 791,
-		ClearBitHops: 6, UpdatesOriginated: 4, JustifiedUpdates: 408,
-		UnjustifiedUpdates: 49, MissLatencyTotal: 56.35848401446424, MissesServed: 150},
-	"chord": {Queries: 2963, Hits: 2697, FirstTimeMisses: 243, FreshnessMisses: 23,
-		Coalesced: 1, QueryHops: 280, ResponseHops: 280, UpdateHops: 968,
-		ClearBitHops: 29, UpdatesOriginated: 4, JustifiedUpdates: 197,
-		UnjustifiedUpdates: 42, MissLatencyTotal: 55.705247088151225, MissesServed: 266},
-	"kademlia": {Queries: 2963, Hits: 2718, FirstTimeMisses: 244, FreshnessMisses: 1,
-		Coalesced: 1, QueryHops: 256, ResponseHops: 256, UpdateHops: 758,
-		UpdatesOriginated: 4, JustifiedUpdates: 454,
-		UnjustifiedUpdates: 48, MissLatencyTotal: 51.057286161378386, MissesServed: 245},
+	"can": {Queries: 2963, Hits: 2803, FirstTimeMisses: 144, FreshnessMisses: 16,
+		Coalesced: 4, QueryHops: 282, ResponseHops: 282, UpdateHops: 803,
+		ClearBitHops: 25, UpdatesOriginated: 4, JustifiedUpdates: 382,
+		UnjustifiedUpdates: 43, MissLatencyTotal: 58.99842792237388, MissesServed: 160},
+	"chord": {Queries: 2963, Hits: 2765, FirstTimeMisses: 192, FreshnessMisses: 6,
+		Coalesced: 1, QueryHops: 265, ResponseHops: 265, UpdateHops: 774,
+		ClearBitHops: 5, UpdatesOriginated: 4, JustifiedUpdates: 429,
+		UnjustifiedUpdates: 47, MissLatencyTotal: 52.83720532011665, MissesServed: 198},
+	"kademlia": {Queries: 2963, Hits: 2728, FirstTimeMisses: 232, FreshnessMisses: 3,
+		QueryHops: 259, ResponseHops: 259, UpdateHops: 770,
+		ClearBitHops: 2, UpdatesOriginated: 4, JustifiedUpdates: 438,
+		UnjustifiedUpdates: 48, MissLatencyTotal: 51.67996909795119, MissesServed: 235},
 }
 
 // Scenario-API parity: the same seed driven through the public Traffic

@@ -3,8 +3,10 @@ package cup
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
+	internal "cup/internal/cup"
 	"cup/internal/live"
 	"cup/internal/obs"
 	"cup/internal/serve"
@@ -141,12 +143,25 @@ func (d *Deployment) initServing(o *options) error {
 	return nil
 }
 
-// close tears the serving layer down: listeners first (no new
-// requests), then the promise janitor, then the port budget.
+// close tears the serving layer down: listeners drain first (new
+// connections refused immediately, in-flight requests given a bounded
+// deadline to complete — they still reach the runtime, which closes
+// after us), then the promise janitor, then the port budget. A request
+// still running at the deadline is force-closed so the ports release
+// either way.
 func (s *serving) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), internal.DefaultServeDrainTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
 	for _, ln := range s.listeners {
-		_ = ln.Close()
+		ln := ln
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = ln.Shutdown(ctx)
+		}()
 	}
+	wg.Wait()
 	_ = s.srv.Close()
 	if s.budgeted > 0 {
 		live.ReleaseListeners(s.budgeted)

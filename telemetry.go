@@ -111,6 +111,17 @@ func (d *Deployment) initTelemetry(o *options) error {
 		reg.Gauge("cup_live_port_budget",
 			"Process-wide live port budget (inbox slots).").
 			Set(float64(live.DefaultPortBudget))
+		// Refresh pacing is process-wide like the port budget, so these
+		// series read the shared pacer, not per-deployment state.
+		reg.GaugeFunc("cup_live_refresh_budget",
+			"Process-wide refresh pacing budget (refresh publishes/second).",
+			live.RefreshBudget)
+		reg.GaugeFunc("cup_live_refresh_paced_total",
+			"Refresh publishes delayed by the process-wide pacing budget.",
+			func() float64 { paced, _ := live.RefreshPacingStats(); return float64(paced) })
+		reg.GaugeFunc("cup_live_refresh_wait_seconds",
+			"Total wall-clock delay the refresh pacing budget imposed.",
+			func() float64 { _, waited := live.RefreshPacingStats(); return waited.Seconds() })
 	}
 
 	// When the telemetry address is also a serving address, initServing
